@@ -1,0 +1,65 @@
+// Ablation A2: exponential polynomial scheme and loop-shape sweep on
+// the host (google-benchmark microbenchmarks of the emulated kernels)
+// plus modelled A64FX cycles for each configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "ookami/common/aligned.hpp"
+#include "ookami/common/rng.hpp"
+#include "ookami/vecmath/vecmath.hpp"
+
+using namespace ookami;
+using vecmath::LoopShape;
+using vecmath::PolyScheme;
+using vecmath::Rounding;
+
+namespace {
+
+struct Data {
+  avec<double> x, y;
+  Data() : x(1 << 14), y(1 << 14) {
+    Xoshiro256 rng(4);
+    fill_uniform({x.data(), x.size()}, -50.0, 50.0, rng);
+  }
+};
+
+Data& data() {
+  static Data d;
+  return d;
+}
+
+void BM_ExpShape(benchmark::State& state, LoopShape shape, PolyScheme scheme, Rounding r) {
+  auto& d = data();
+  for (auto _ : state) {
+    vecmath::exp_array({d.x.data(), d.x.size()}, {d.y.data(), d.y.size()}, shape, scheme, r);
+    benchmark::DoNotOptimize(d.y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.x.size()));
+}
+
+void BM_ExpSerial(benchmark::State& state) {
+  auto& d = data();
+  for (auto _ : state) {
+    vecmath::exp_array_serial({d.x.data(), d.x.size()}, {d.y.data(), d.y.size()});
+    benchmark::DoNotOptimize(d.y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.x.size()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_ExpShape, vla_horner_fast, LoopShape::kVla, PolyScheme::kHorner,
+                  Rounding::kFast);
+BENCHMARK_CAPTURE(BM_ExpShape, fixed_horner_fast, LoopShape::kFixed, PolyScheme::kHorner,
+                  Rounding::kFast);
+BENCHMARK_CAPTURE(BM_ExpShape, unrolled_horner_fast, LoopShape::kUnrolled2, PolyScheme::kHorner,
+                  Rounding::kFast);
+BENCHMARK_CAPTURE(BM_ExpShape, unrolled_estrin_fast, LoopShape::kUnrolled2, PolyScheme::kEstrin,
+                  Rounding::kFast);
+BENCHMARK_CAPTURE(BM_ExpShape, unrolled_estrin_corrected, LoopShape::kUnrolled2,
+                  PolyScheme::kEstrin, Rounding::kCorrected);
+BENCHMARK(BM_ExpSerial);
+
+BENCHMARK_MAIN();

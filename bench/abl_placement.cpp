@@ -1,0 +1,31 @@
+// Ablation A3: page placement policy x thread count on a simulated
+// STREAM triad — the execution-level demonstration of the Figure 4
+// "fujitsu vs fujitsu-first-touch" mechanism.
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/numa/numa.hpp"
+
+using namespace ookami;
+using numa::Placement;
+
+int main() {
+  std::printf("Ablation A3 — simulated STREAM triad bandwidth (GB/s) on the A64FX\n"
+              "CMG topology under three page-placement policies\n\n");
+
+  const std::size_t n = 64ull << 20;  // 1.5 GB of triad traffic
+  GroupedSeries g("effective bandwidth, GB/s", "threads");
+  for (int t : {1, 6, 12, 24, 36, 48}) {
+    for (auto [policy, name] : {std::pair{Placement::kFirstTouch, "first-touch"},
+                                std::pair{Placement::kAllOnDomain0, "all-on-CMG0"},
+                                std::pair{Placement::kInterleave, "interleave"}}) {
+      g.set(std::to_string(t), name, numa::stream_triad(perf::a64fx(), policy, n, t).gbs);
+    }
+  }
+  std::printf("%s\n", g.table(0).c_str());
+  std::printf("Beyond 12 threads (one CMG), all-on-CMG0 saturates a single memory\n"
+              "controller and its inbound links while first-touch rides all four HBM\n"
+              "stacks — the mechanism behind the Fujitsu runtime's Fig. 4 behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 1: runtime on A64FX of the simple vector loops (simple,
+// predicate, gather, scatter, short-gather, short-scatter) compiled
+// with different toolchains, relative to the Intel compiler on Skylake.
+//
+// The executable kernels are first run through the SVE emulation to
+// confirm numerical correctness, then each (loop, toolchain) pair is
+// priced by the machine model and normalized to Intel/Skylake.
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/loops/kernels.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+using toolchain::Toolchain;
+
+int main() {
+  const auto& a64fx = perf::a64fx();
+  const auto& skl = perf::skylake_6140();
+
+  std::printf("Fig. 1 — simple vector loops, runtime relative to Intel/Skylake\n");
+  std::printf("(correctness: every kernel's SVE-emulation output checked against scalar)\n\n");
+
+  GroupedSeries fig("relative runtime (A64FX vs Intel/SKL = 1)", "loop");
+  for (auto kind : loops::fig1_loop_kinds()) {
+    const double worst_ulp = loops::max_ulp_scalar_vs_sve(kind);
+    const double intel = toolchain::kernel_cycles_per_elem(kind, Toolchain::kIntel, skl) /
+                         skl.boost_ghz;
+    for (auto tc : toolchain::a64fx_toolchains()) {
+      const double t =
+          toolchain::kernel_cycles_per_elem(kind, tc, a64fx) / a64fx.boost_ghz;
+      fig.set(loops::loop_name(kind), toolchain::policy(tc).name, t / intel);
+    }
+    std::printf("  %-14s kernel verified (max %g ulp scalar-vs-SVE)\n",
+                loops::loop_name(kind).c_str(), worst_ulp);
+  }
+  std::printf("\n%s\n%s", fig.table().c_str(), fig.bars().c_str());
+  write_file(report::artifact_path("fig1_simple_loops.csv"), fig.csv());
+
+  const std::vector<report::ClaimCheck> claims = {
+      {"fig1/simple/fujitsu", "simple loop ~2x (clock ratio)", 2.0,
+       fig.get("simple", "fujitsu"), 1.35},
+      {"fig1/predicate/fujitsu", "predicate loop ~3x", 3.0, fig.get("predicate", "fujitsu"),
+       1.35},
+      {"fig1/gather/fujitsu", "gather ~2x", 2.0, fig.get("gather", "fujitsu"), 1.35},
+      {"fig1/short-gather/fujitsu", "short gather ~1.5x (128-B pair fusion)", 1.5,
+       fig.get("short-gather", "fujitsu"), 1.35},
+  };
+  std::printf("\n%s", report::render_claims("Figure 1", claims).c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 2: runtime on A64FX of vectorized math-function loops (recip,
+// sqrt, exp, sin, pow) compiled with different toolchains (including
+// the AMD library), relative to the Intel compiler on Skylake — the
+// figure behind the paper's headline "GNU kernels can run 30x slower".
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/loops/kernels.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+#include "ookami/vecmath/vecmath.hpp"
+
+using namespace ookami;
+using toolchain::Toolchain;
+
+int main() {
+  const auto& a64fx = perf::a64fx();
+  const auto& skl = perf::skylake_6140();
+
+  std::printf("Fig. 2 — vectorized math functions, runtime relative to Intel/Skylake\n\n");
+
+  auto tcs = toolchain::a64fx_toolchains();
+  tcs.push_back(Toolchain::kAmd);
+
+  GroupedSeries fig("relative runtime (A64FX vs Intel/SKL = 1)", "function");
+  for (auto kind : loops::fig2_loop_kinds()) {
+    const double intel = toolchain::kernel_cycles_per_elem(kind, Toolchain::kIntel, skl) /
+                         skl.boost_ghz;
+    for (auto tc : tcs) {
+      const double t =
+          toolchain::kernel_cycles_per_elem(kind, tc, a64fx) / a64fx.boost_ghz;
+      fig.set(loops::loop_name(kind), toolchain::policy(tc).name, t / intel);
+    }
+  }
+  std::printf("%s\n%s", fig.table().c_str(), fig.bars().c_str());
+  write_file(report::artifact_path("fig2_math_functions.csv"), fig.csv());
+
+  // Measured accuracy of our own vector math (the paper defers accuracy
+  // "to another paper"; we report it here).
+  std::printf("Accuracy of this kit's vector math vs libm (max ulp over sweeps):\n");
+  using vecmath::ulp_sweep;
+  using sve::Vec;
+  std::printf("  exp  (corrected): %.1f ulp\n",
+              ulp_sweep([](double x) { return vecmath::exp(Vec(x))[0]; },
+                        [](double x) { return std::exp(x); }, -700, 700, 20000).max_ulp);
+  std::printf("  sin             : %.1f ulp\n",
+              ulp_sweep([](double x) { return vecmath::sin(Vec(x))[0]; },
+                        [](double x) { return std::sin(x); }, -100, 100, 20000).max_ulp);
+  std::printf("  recip (Newton)  : %.1f ulp\n",
+              ulp_sweep([](double x) { return vecmath::recip_newton(Vec(x))[0]; },
+                        [](double x) { return 1.0 / x; }, 1e-3, 1e3, 20000).max_ulp);
+  std::printf("  sqrt  (Newton)  : %.1f ulp\n",
+              ulp_sweep([](double x) { return vecmath::sqrt_newton(Vec(x))[0]; },
+                        [](double x) { return std::sqrt(x); }, 1e-3, 1e3, 20000).max_ulp);
+
+  const double fj_exp = fig.get("exp", "fujitsu");
+  const std::vector<report::ClaimCheck> claims = {
+      {"fig2/exp/fujitsu", "Fujitsu exp ~2x Skylake", 2.0, fj_exp, 1.4},
+      {"fig2/exp/cray-vs-fujitsu", "Cray math 1.5-2x Fujitsu", 1.75,
+       fig.get("exp", "cray") / fj_exp, 1.35},
+      {"fig2/exp/gnu", "GNU exp ~30x slower than Fujitsu", 30.0,
+       fig.get("exp", "gnu") / fj_exp, 2.2},
+      {"fig2/sqrt/gnu-blocking", "GNU/AMD sqrt ~20x (blocking FSQRT)", 20.0,
+       fig.get("sqrt", "gnu"), 2.2},
+      {"fig2/pow/amd", "AMD pow ~10x Fujitsu", 10.0, fig.get("pow", "amd") / fig.get("pow", "fujitsu"),
+       1.6},
+  };
+  std::printf("\n%s", report::render_claims("Figure 2", claims).c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3: single-core runtime of the NPB applications (class C)
+// under each A64FX toolchain and Intel/Skylake.  Class C needs A64FX
+// silicon, so the numbers come from the calibrated application model;
+// the executable kernels are first run at class S to verify the
+// numerics behind the profiles.
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/npb/npb.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+using npb::Benchmark;
+using toolchain::Toolchain;
+
+int main() {
+  std::printf("Fig. 3 — NPB single-core runtime, class C (modelled; kernels verified at class S)\n\n");
+
+  for (auto b : npb::all_benchmarks()) {
+    const auto r = npb::run(b, npb::Class::kS, 1);
+    std::printf("  %s.S executable: %s (%.3fs, check=%.6g)\n", npb::benchmark_name(b).c_str(),
+                r.verified ? "VERIFIED" : "FAILED", r.seconds, r.check_value);
+  }
+  std::printf("\n");
+
+  GroupedSeries fig("single-core runtime, seconds (class C)", "app");
+  for (auto b : npb::all_benchmarks()) {
+    const auto prof = npb::class_c_profile(b);
+    for (auto tc : toolchain::a64fx_toolchains()) {
+      fig.set(npb::benchmark_name(b), toolchain::policy(tc).name,
+              perf::app_time(perf::a64fx(), prof, toolchain::policy(tc).app, 1).seconds);
+    }
+    fig.set(npb::benchmark_name(b), "icc-skl",
+            perf::app_time(perf::skylake_npb_node(), prof,
+                           toolchain::policy(Toolchain::kIntel).app, 1)
+                .seconds);
+  }
+  std::printf("%s\n%s", fig.table(1).c_str(), fig.bars().c_str());
+  write_file(report::artifact_path("fig3_npb_single_core.csv"), fig.csv());
+
+  const double ep_gcc = fig.get("EP", "gnu");
+  const double ep_fj = fig.get("EP", "fujitsu");
+  const double cg_best = fig.get("CG", "gnu");
+  const double ep_skl = fig.get("EP", "icc-skl");
+  const double cg_skl = fig.get("CG", "icc-skl");
+  const std::vector<report::ClaimCheck> claims = {
+      {"fig3/ep-gcc", "GCC ~3x worse on EP (no vector math)", 3.0, ep_gcc / ep_fj, 1.35},
+      {"fig3/cg-gap", "Intel wins CG by ~1.6x", 1.6, cg_best / cg_skl, 1.5},
+      {"fig3/ep-gap", "Intel wins EP by ~5.5x", 5.5, ep_fj / ep_skl, 1.7},
+  };
+  std::printf("\n%s", report::render_claims("Figure 3", claims).c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4: NPB runtime with all cores (48 on A64FX, 36 on Skylake),
+// class C, including the "fujitsu-first-touch" configuration that
+// exposes the Fujitsu runtime's default CMG-0 page placement.
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/npb/npb.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+using npb::Benchmark;
+using toolchain::Toolchain;
+
+int main() {
+  std::printf("Fig. 4 — NPB all-cores runtime, class C (modelled)\n\n");
+
+  GroupedSeries fig("all-cores runtime, seconds (class C)", "app");
+  for (auto b : npb::all_benchmarks()) {
+    const auto prof = npb::class_c_profile(b);
+    for (auto tc : toolchain::a64fx_toolchains()) {
+      fig.set(npb::benchmark_name(b), toolchain::policy(tc).name,
+              perf::app_time(perf::a64fx(), prof, toolchain::policy(tc).app, 48).seconds);
+    }
+    fig.set(npb::benchmark_name(b), "fujitsu-first-touch",
+            perf::app_time(perf::a64fx(), prof, toolchain::policy(Toolchain::kFujitsu).app, 48,
+                           /*force_first_touch=*/true)
+                .seconds);
+    fig.set(npb::benchmark_name(b), "icc-skl",
+            perf::app_time(perf::skylake_npb_node(), prof,
+                           toolchain::policy(Toolchain::kIntel).app, 36)
+                .seconds);
+  }
+  std::printf("%s\n%s", fig.table(2).c_str(), fig.bars().c_str());
+  write_file(report::artifact_path("fig4_npb_all_cores.csv"), fig.csv());
+
+  const std::vector<report::ClaimCheck> claims = {
+      {"fig4/sp-win", "A64FX beats Skylake on SP at full node", 2.0,
+       fig.get("SP", "icc-skl") / fig.get("SP", "gnu"), 5.0},
+      {"fig4/ua-win", "A64FX beats Skylake on UA at full node", 1.2,
+       fig.get("UA", "icc-skl") / fig.get("UA", "gnu"), 2.5},
+      {"fig4/fujitsu-sp-placement", "first touch strongly improves Fujitsu SP", 2.0,
+       fig.get("SP", "fujitsu") / fig.get("SP", "fujitsu-first-touch"), 2.5},
+      {"fig4/arm-ua-deviance", "Arm deviates on region-heavy UA", 1.2,
+       fig.get("UA", "arm") / fig.get("UA", "gnu"), 1.5},
+  };
+  std::printf("\n%s", report::render_claims("Figure 4", claims).c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 5: parallel efficiency of the NPB applications on A64FX with
+// the GNU compiler, 1..48 threads (class C, modelled).
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/npb/npb.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+
+int main() {
+  std::printf("Fig. 5 — NPB parallel efficiency on A64FX (GNU compiler, class C)\n\n");
+  const auto& cc = toolchain::policy(toolchain::Toolchain::kGnu).app;
+
+  GroupedSeries fig("parallel efficiency T1/(t*Tt)", "threads");
+  for (int t : {1, 2, 4, 8, 12, 16, 24, 32, 48}) {
+    for (auto b : npb::all_benchmarks()) {
+      fig.set(std::to_string(t), npb::benchmark_name(b),
+              perf::parallel_efficiency(perf::a64fx(), npb::class_c_profile(b), cc, t));
+    }
+  }
+  std::printf("%s\n", fig.table(3).c_str());
+  write_file(report::artifact_path("fig5_npb_scaling_a64fx.csv"), fig.csv());
+
+  const std::vector<report::ClaimCheck> claims = {
+      {"fig5/ep-48", "EP scales almost linearly at 48 cores", 1.0, fig.get("48", "EP"), 1.15},
+      {"fig5/sp-48", "SP is the worst scaler, ~0.6 at 48 cores", 0.6, fig.get("48", "SP"), 1.3},
+  };
+  std::printf("%s", report::render_claims("Figure 5", claims).c_str());
+  return 0;
+}

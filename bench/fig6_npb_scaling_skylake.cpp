@@ -1,0 +1,34 @@
+// Figure 6: parallel efficiency of the NPB applications on the 36-core
+// Skylake node with the Intel compiler (class C, modelled).
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/npb/npb.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+
+int main() {
+  std::printf("Fig. 6 — NPB parallel efficiency on Skylake (Intel compiler, class C)\n\n");
+  const auto& cc = toolchain::policy(toolchain::Toolchain::kIntel).app;
+  const auto& m = perf::skylake_npb_node();
+
+  GroupedSeries fig("parallel efficiency T1/(t*Tt)", "threads");
+  for (int t : {1, 2, 4, 8, 12, 18, 24, 36}) {
+    for (auto b : npb::all_benchmarks()) {
+      fig.set(std::to_string(t), npb::benchmark_name(b),
+              perf::parallel_efficiency(m, npb::class_c_profile(b), cc, t));
+    }
+  }
+  std::printf("%s\n", fig.table(3).c_str());
+  write_file(report::artifact_path("fig6_npb_scaling_skylake.csv"), fig.csv());
+
+  const std::vector<report::ClaimCheck> claims = {
+      {"fig6/ep-36", "EP tops out ~0.7 (boost-clock loss)", 0.70, fig.get("36", "EP"), 1.25},
+      {"fig6/sp-36", "SP bottoms out ~0.25", 0.25, fig.get("36", "SP"), 1.5},
+  };
+  std::printf("%s", report::render_claims("Figure 6", claims).c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// M1: google-benchmark micro-timings of the SVE-emulation loop suite on
+// the host.  These measure the *emulation*, not silicon — they exist to
+// track regressions in the kit itself and to compare kernel shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "ookami/loops/kernels.hpp"
+
+using namespace ookami;
+using loops::LoopKind;
+
+namespace {
+
+void BM_LoopScalar(benchmark::State& state, LoopKind kind) {
+  loops::LoopData d = loops::make_loop_data(kind);
+  for (auto _ : state) {
+    loops::run_scalar(kind, d);
+    benchmark::DoNotOptimize(d.y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.n()));
+}
+
+void BM_LoopSve(benchmark::State& state, LoopKind kind) {
+  loops::LoopData d = loops::make_loop_data(kind);
+  for (auto _ : state) {
+    loops::run_sve(kind, d);
+    benchmark::DoNotOptimize(d.y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.n()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_LoopScalar, simple, LoopKind::kSimple);
+BENCHMARK_CAPTURE(BM_LoopSve, simple, LoopKind::kSimple);
+BENCHMARK_CAPTURE(BM_LoopScalar, predicate, LoopKind::kPredicate);
+BENCHMARK_CAPTURE(BM_LoopSve, predicate, LoopKind::kPredicate);
+BENCHMARK_CAPTURE(BM_LoopScalar, gather, LoopKind::kGather);
+BENCHMARK_CAPTURE(BM_LoopSve, gather, LoopKind::kGather);
+BENCHMARK_CAPTURE(BM_LoopScalar, short_gather, LoopKind::kShortGather);
+BENCHMARK_CAPTURE(BM_LoopSve, short_gather, LoopKind::kShortGather);
+BENCHMARK_CAPTURE(BM_LoopScalar, exp, LoopKind::kExp);
+BENCHMARK_CAPTURE(BM_LoopSve, exp, LoopKind::kExp);
+BENCHMARK_CAPTURE(BM_LoopScalar, sqrt, LoopKind::kSqrt);
+BENCHMARK_CAPTURE(BM_LoopSve, sqrt, LoopKind::kSqrt);
+
+BENCHMARK_MAIN();

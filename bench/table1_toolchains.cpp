@@ -1,0 +1,34 @@
+// Table I: the compiler flags used in the loop-vectorization tests,
+// plus the codegen-policy summary this kit derives from each toolchain.
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+using toolchain::Toolchain;
+
+int main() {
+  std::printf("Table I — compiler flags and derived codegen policies\n\n");
+  TextTable t({"compiler", "version", "flags"});
+  for (auto tc : {Toolchain::kFujitsu, Toolchain::kArm21, Toolchain::kCray, Toolchain::kGnu,
+                  Toolchain::kIntel}) {
+    const auto& p = toolchain::policy(tc);
+    t.add_row({p.name, p.version, p.flags});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  TextTable pol({"compiler", "vector math lib", "1/x codegen", "sqrt codegen",
+                 "default placement"});
+  for (auto tc : {Toolchain::kFujitsu, Toolchain::kArm21, Toolchain::kArm20, Toolchain::kCray,
+                  Toolchain::kGnu, Toolchain::kAmd, Toolchain::kIntel}) {
+    const auto& p = toolchain::policy(tc);
+    pol.add_row({p.name, p.has_vector_math ? "yes" : "NO (scalar libm)",
+                 p.recip == toolchain::DivSqrtCodegen::kNewton ? "Newton" : "blocking FDIV",
+                 p.sqrt == toolchain::DivSqrtCodegen::kNewton ? "Newton" : "blocking FSQRT",
+                 p.app.placement_cmg0 ? "all pages on CMG 0" : "first touch"});
+  }
+  std::printf("%s", pol.str().c_str());
+  return 0;
+}

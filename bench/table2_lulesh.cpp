@@ -1,0 +1,72 @@
+// Table II / Figure 7: LULESH timings — Base vs Vect, single-thread vs
+// all cores, per toolchain, plus Intel/Skylake.  The proxy app is run
+// on the host first (both variants, verified); the Table II matrix is
+// then produced by the application model.
+
+#include <cstdio>
+
+#include "ookami/common/table.hpp"
+#include "ookami/lulesh/lulesh.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+using lulesh::Variant;
+using toolchain::Toolchain;
+
+int main() {
+  std::printf("Table II / Fig. 7 — LULESH timings\n\n");
+
+  // Host verification runs of the executable proxy.
+  for (auto v : {Variant::kBase, Variant::kVect}) {
+    lulesh::Options o;
+    o.variant = v;
+    o.threads = 2;
+    const auto out = lulesh::run_sedov(o);
+    std::printf("  sedov %-4s executable: %s (energy drift %.2e, symmetry %.2e, %.3fs host)\n",
+                v == Variant::kBase ? "base" : "vect", out.verified ? "VERIFIED" : "FAILED",
+                out.total_energy_drift, out.symmetry_error, out.seconds);
+  }
+  std::printf("\n");
+
+  TextTable t({"compiler", "Base(st)", "Base(mt)", "Vect(st)", "Vect(mt)"});
+  auto row = [&](const std::string& name, const perf::MachineModel& m,
+                 const perf::CompilerEffects& cc, int mt_threads) {
+    const auto base = lulesh::table2_profile(Variant::kBase);
+    const auto vect = lulesh::table2_profile(Variant::kVect);
+    t.add_row({name, TextTable::num(perf::app_time(m, base, cc, 1).seconds, 3),
+               TextTable::num(perf::app_time(m, base, cc, mt_threads).seconds, 4),
+               TextTable::num(perf::app_time(m, vect, cc, 1).seconds, 3),
+               TextTable::num(perf::app_time(m, vect, cc, mt_threads).seconds, 4)});
+    return perf::app_time(m, base, cc, 1).seconds;
+  };
+  double a64_gnu_base = 0.0;
+  for (auto tc : {Toolchain::kArm21, Toolchain::kCray, Toolchain::kFujitsu, Toolchain::kGnu}) {
+    const double b = row(toolchain::policy(tc).name, perf::a64fx(), toolchain::policy(tc).app, 48);
+    if (tc == Toolchain::kGnu) a64_gnu_base = b;
+  }
+  const double skl_base = row("intel/x86_64", perf::skylake_6130(),
+                              toolchain::policy(Toolchain::kIntel).app, 32);
+  std::printf("%s\n", t.str().c_str());
+  std::printf("(paper reference row: GNU 2.054 / 0.0674 / 1.533 / 0.0351;"
+              " Intel 0.395 / 0.0355 / 0.260 / 0.0154)\n\n");
+
+  const auto base = lulesh::table2_profile(Variant::kBase);
+  const auto vect = lulesh::table2_profile(Variant::kVect);
+  const auto& gnu = toolchain::policy(Toolchain::kGnu).app;
+  const std::vector<report::ClaimCheck> claims = {
+      {"table2/base-st-gnu", "A64FX GNU Base single-thread seconds", 2.054, a64_gnu_base, 1.5},
+      {"table2/intel-ratio", "Intel ~5.2x faster single-thread (Base)", 2.054 / 0.395,
+       a64_gnu_base / skl_base, 1.6},
+      {"table2/vect-gain", "Vect/Base single-thread gain (GNU)", 2.054 / 1.533,
+       perf::app_time(perf::a64fx(), base, gnu, 1).seconds /
+           perf::app_time(perf::a64fx(), vect, gnu, 1).seconds,
+       1.4},
+      {"table2/mt-speedup", "GNU multithread speedup ~30x", 2.054 / 0.0674,
+       perf::app_time(perf::a64fx(), base, gnu, 1).seconds /
+           perf::app_time(perf::a64fx(), base, gnu, 48).seconds,
+       1.6},
+  };
+  std::printf("%s", report::render_claims("Table II", claims).c_str());
+  return 0;
+}

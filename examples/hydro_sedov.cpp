@@ -1,0 +1,41 @@
+// Sedov blast demo: run the LULESH-style hydro proxy, print an ASCII
+// rendering of the blast front, and report the conservation checks.
+//
+// Usage: ./examples/hydro_sedov [--edge N] [--steps N] [--threads T] [--vect]
+
+#include <cmath>
+#include <cstdio>
+
+#include "ookami/common/cli.hpp"
+#include "ookami/lulesh/lulesh.hpp"
+
+using namespace ookami;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  lulesh::Options opt;
+  opt.edge_elems = static_cast<int>(cli.get_int("edge", 16));
+  opt.max_steps = static_cast<int>(cli.get_int("steps", 80));
+  opt.threads = static_cast<unsigned>(cli.get_int("threads", 2));
+  opt.variant = cli.has("vect") ? lulesh::Variant::kVect : lulesh::Variant::kBase;
+
+  std::printf("Sedov blast, %d^3 elements, %d steps, %u threads, %s kernels\n\n",
+              opt.edge_elems, opt.max_steps, opt.threads,
+              opt.variant == lulesh::Variant::kBase ? "Base" : "Vect(SVE)");
+
+  const auto out = lulesh::run_sedov(opt);
+
+  std::printf("steps run            : %d\n", out.steps);
+  std::printf("wall time            : %.3f s\n", out.seconds);
+  std::printf("origin element energy: %.5f (started at 1.0; the blast carried the rest away)\n",
+              out.final_origin_energy);
+  std::printf("total energy drift   : %.2e   (internal + kinetic vs deposited)\n",
+              out.total_energy_drift);
+  std::printf("octant symmetry error: %.2e\n", out.symmetry_error);
+  std::printf("verification         : %s\n\n", out.verified ? "VERIFIED" : "FAILED");
+
+  std::printf("Table II context: the paper's LULESH ports show the same story this proxy\n"
+              "demonstrates — a vectorizable element loop (Vect) and OpenMP threading are\n"
+              "each worth integer factors on A64FX; run bench/table2_lulesh for the matrix.\n");
+  return out.verified ? 0 : 1;
+}

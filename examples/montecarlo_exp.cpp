@@ -1,0 +1,116 @@
+// The paper's Section III motivating example: a Monte Carlo evaluation
+// of the integral <x> over p(x) ~ exp(-x) on [0, 23] by
+// Metropolis sampling — first as the naive 3-line serial loop, then
+// restructured the way §III prescribes: an outer loop over independent
+// samples split for thread and vector parallelism, scalars promoted to
+// vectors, a vectorizable (counter-based) random number generator, and
+// the vector exponential.
+//
+// Usage: ./examples/montecarlo_exp [--samples N] [--threads T]
+
+#include <cmath>
+#include <cstdio>
+
+#include "ookami/common/cli.hpp"
+#include "ookami/common/rng.hpp"
+#include "ookami/common/threadpool.hpp"
+#include "ookami/common/timer.hpp"
+#include "ookami/vecmath/vecmath.hpp"
+
+namespace sv = ookami::sve;
+using ookami::CounterRng;
+
+namespace {
+
+/// The naive loop from the paper — fully serial: every iteration
+/// depends on the previous x, and exp() is a scalar libm call.
+double naive_chain(std::uint64_t steps) {
+  ookami::Xoshiro256 rng(7);
+  double x = 23.0 * rng.uniform();
+  double sum = 0.0;
+  for (std::uint64_t it = 0; it < steps; ++it) {
+    const double xnew = 23.0 * rng.uniform();
+    if (std::exp(-xnew) > std::exp(-x) * rng.uniform()) x = xnew;
+    sum += x;
+  }
+  return sum / static_cast<double>(steps);
+}
+
+/// The restructured version: kLanes independent Metropolis chains per
+/// vector, many vectors per thread; the accept test becomes a predicate
+/// and exp() the vector kernel.  Counter-based RNG streams make each
+/// lane's randomness independent of execution order.
+double vectorized_chains(std::uint64_t steps_per_chain, unsigned threads) {
+  ookami::ThreadPool pool(threads);
+  constexpr std::size_t kChainsPerThreadBlock = 64;  // 8 vectors in flight
+  const std::size_t blocks = pool.size() * 4;
+  const std::size_t chains = blocks * kChainsPerThreadBlock;
+
+  const double total = pool.parallel_reduce(
+      0, blocks, 0.0,
+      [&](std::size_t b0, std::size_t b1, unsigned) {
+        double acc = 0.0;
+        for (std::size_t blk = b0; blk < b1; ++blk) {
+          for (std::size_t c = 0; c < kChainsPerThreadBlock; c += sv::kLanes) {
+            const std::size_t chain0 = blk * kChainsPerThreadBlock + c;
+            // Promote the chain state to a vector: one chain per lane.
+            sv::Vec x;
+            for (int l = 0; l < sv::kLanes; ++l) {
+              x[l] = 23.0 * CounterRng(chain0 + static_cast<std::size_t>(l)).uniform(0);
+            }
+            sv::Vec sum(0.0);
+            const sv::Pred all = sv::ptrue();
+            for (std::uint64_t it = 1; it <= steps_per_chain; ++it) {
+              sv::Vec xnew, u;
+              for (int l = 0; l < sv::kLanes; ++l) {
+                const CounterRng rl(chain0 + static_cast<std::size_t>(l));
+                xnew[l] = 23.0 * rl.uniform(2 * it);
+                u[l] = rl.uniform(2 * it + 1);
+              }
+              const sv::Vec pnew = ookami::vecmath::exp(-xnew);
+              const sv::Vec pold = ookami::vecmath::exp(-x);
+              const sv::Pred accept = sv::cmpgt(all, pnew, pold * u);
+              x = sv::sel(accept, xnew, x);   // the if-test becomes a select
+              sum = sum + x;
+            }
+            acc += sv::reduce_add(all, sum);
+          }
+        }
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+
+  return total / static_cast<double>(chains) / static_cast<double>(steps_per_chain);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ookami::Cli cli(argc, argv);
+  const auto samples = static_cast<std::uint64_t>(cli.get_int("samples", 400000));
+  const auto threads = static_cast<unsigned>(cli.get_int("threads", 2));
+
+  // <x> for p ~ exp(-x) truncated to [0,23]: essentially 1 (the tail
+  // beyond 23 contributes ~1e-9).
+  std::printf("Monte Carlo <x> over p(x) ~ exp(-x) on [0,23]  (exact: ~1.0)\n\n");
+
+  ookami::WallTimer t1;
+  const double naive = naive_chain(samples);
+  const double t_naive = t1.elapsed();
+  std::printf("naive serial chain      : <x> = %.4f   (%.3fs, 1 chain x %llu steps)\n", naive,
+              t_naive, static_cast<unsigned long long>(samples));
+
+  ookami::WallTimer t2;
+  const double vec = vectorized_chains(samples / 64, threads);
+  const double t_vec = t2.elapsed();
+  std::printf("vector+thread chains    : <x> = %.4f   (%.3fs, %u threads, 8 lanes/vector)\n",
+              vec, t_vec, threads);
+
+  std::printf("\nBoth estimates agree with the analytic value; the restructuring\n"
+              "(§III: loop over independent samples, loop splitting, scalar->vector\n"
+              "promotion, vector RNG + vector exp) is what turns the 500x GPU-vs-CPU\n"
+              "anecdote into a fair comparison.\n");
+  const bool ok = std::fabs(naive - 1.0) < 0.05 && std::fabs(vec - 1.0) < 0.05;
+  std::printf("%s\n", ok ? "VERIFIED: both within 5% of the analytic mean" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}

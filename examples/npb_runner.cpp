@@ -1,0 +1,51 @@
+// NPB runner: execute any of the six reimplemented NAS Parallel
+// Benchmarks at a host-scale class, verify it, and report both the
+// measured host numbers and the model's class-C projection for A64FX.
+//
+// Usage: ./examples/npb_runner [--bench BT|CG|EP|LU|SP|UA] [--class S|W|A]
+//                              [--threads N]        (default: all, class S)
+
+#include <cstdio>
+#include <string>
+
+#include "ookami/common/cli.hpp"
+#include "ookami/npb/npb.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+using npb::Benchmark;
+using npb::Class;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string which = cli.get("bench", "all");
+  const std::string cls_name = cli.get("class", "S");
+  const auto threads = static_cast<unsigned>(cli.get_int("threads", 2));
+
+  Class cls = Class::kS;
+  if (cls_name == "W") cls = Class::kW;
+  else if (cls_name == "A") cls = Class::kA;
+  else if (cls_name != "S") {
+    std::fprintf(stderr, "host-runnable classes: S, W, A\n");
+    return 1;
+  }
+
+  int failures = 0;
+  for (auto b : npb::all_benchmarks()) {
+    if (which != "all" && npb::benchmark_name(b) != which) continue;
+    const auto r = npb::run(b, cls, threads);
+    std::printf("%s.%s  %-8s  %8.3fs  %9.1f Mop/s  check=%.12g\n  %s\n",
+                npb::benchmark_name(b).c_str(), npb::class_name(cls).c_str(),
+                r.verified ? "VERIFIED" : "FAILED", r.seconds, r.mops, r.check_value,
+                r.detail.c_str());
+    failures += r.verified ? 0 : 1;
+
+    // Model projection: what would class C cost on 48 A64FX cores?
+    const auto prof = npb::class_c_profile(b);
+    const auto& gcc = toolchain::policy(toolchain::Toolchain::kGnu).app;
+    std::printf("  class-C projection (A64FX, gcc): 1 core %.0fs, 48 cores %.1fs\n\n",
+                perf::app_time(perf::a64fx(), prof, gcc, 1).seconds,
+                perf::app_time(perf::a64fx(), prof, gcc, 48).seconds);
+  }
+  return failures;
+}

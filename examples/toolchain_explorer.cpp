@@ -1,0 +1,64 @@
+// Toolchain explorer: "compile" any kernel of the §III loop suite under
+// every toolchain model and print the predicted cycles/element on every
+// machine — an interactive version of the Figure 1/2 engine.
+//
+// Usage: ./examples/toolchain_explorer [loop ...]
+//   loop: simple predicate gather scatter short-gather short-scatter
+//         recip sqrt exp sin pow            (default: all)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ookami/common/cli.hpp"
+#include "ookami/common/table.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+using namespace ookami;
+using toolchain::Toolchain;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  std::vector<loops::LoopKind> kinds;
+  if (cli.positional().empty()) {
+    kinds = loops::all_loop_kinds();
+  } else {
+    for (const auto& want : cli.positional()) {
+      for (auto k : loops::all_loop_kinds()) {
+        if (loops::loop_name(k) == want) kinds.push_back(k);
+      }
+    }
+    if (kinds.empty()) {
+      std::fprintf(stderr, "unknown loop name; options:");
+      for (auto k : loops::all_loop_kinds()) std::fprintf(stderr, " %s", loops::loop_name(k).c_str());
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+  }
+
+  const std::vector<const perf::MachineModel*> machines = {
+      &perf::a64fx(), &perf::skylake_6140(), &perf::knl_7250(), &perf::zen2_7742()};
+  const std::vector<Toolchain> tcs = {Toolchain::kFujitsu, Toolchain::kCray, Toolchain::kArm21,
+                                      Toolchain::kArm20,   Toolchain::kGnu,  Toolchain::kAmd,
+                                      Toolchain::kIntel};
+
+  for (auto kind : kinds) {
+    std::printf("== %s ==\n", loops::loop_name(kind).c_str());
+    TextTable t({"toolchain", "A64FX cyc/elem", "SKL cyc/elem", "KNL cyc/elem",
+                 "Zen2 cyc/elem", "vectorized on A64FX?"});
+    for (auto tc : tcs) {
+      const auto& p = toolchain::policy(tc);
+      const auto lowered = toolchain::lower(loops::kernel_spec(kind), p, perf::a64fx());
+      std::vector<std::string> row{p.name};
+      for (const auto* m : machines) {
+        row.push_back(TextTable::num(toolchain::kernel_cycles_per_elem(kind, tc, *m), 2));
+      }
+      row.push_back(lowered.vectorized ? "yes" : "NO (scalar)");
+      t.add_row(std::move(row));
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  std::printf("(cycles/element from the calibrated machine models; see DESIGN.md §2)\n");
+  return 0;
+}

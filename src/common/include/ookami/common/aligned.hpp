@@ -1,0 +1,65 @@
+#pragma once
+// Aligned storage helpers.
+//
+// SVE on A64FX prefers 256-byte alignment (a full L2 line); the
+// 128-byte-window gather experiments in the paper depend on data being
+// aligned so that "short" index permutations stay inside aligned windows.
+// Everything in this kit that feeds the sve/ emulation layer allocates
+// through these helpers so alignment-sensitive behaviour is reproducible.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace ookami {
+
+/// Default alignment used throughout the kit: one A64FX L2 cache line.
+inline constexpr std::size_t kDefaultAlignment = 256;
+
+/// Minimal standard allocator that over-aligns allocations.
+template <class T, std::size_t Alignment = kDefaultAlignment>
+class AlignedAllocator {
+public:
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment must satisfy the type");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc{};
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Alignment});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+/// std::vector with kit-default alignment; the workhorse container for
+/// all kernel working sets.
+template <class T>
+using avec = std::vector<T, AlignedAllocator<T>>;
+
+/// True if `p` is aligned to `alignment` bytes.
+inline bool is_aligned(const void* p, std::size_t alignment) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+}  // namespace ookami

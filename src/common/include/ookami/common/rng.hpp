@@ -1,0 +1,146 @@
+#pragma once
+// Deterministic, fast random number generation.
+//
+// The paper's loop test suite builds gather/scatter index vectors as
+// (a) a random permutation of the whole index space and (b) permutations
+// confined to 128-byte windows (16 doubles) to trigger the A64FX
+// pair-fusion gather optimization.  The Monte Carlo example and the NPB
+// EP kernel additionally need a splittable counter-style stream so each
+// vector lane / thread can draw independent deviates, which is exactly
+// the transformation §III of the paper describes ("a manual call to a
+// vectorized random number generator is still necessary").
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace ookami {
+
+/// SplitMix64 — used for seeding and as a cheap stateless hash.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** — main scalar generator (public domain algorithm by
+/// Blackman & Vigna).  Deterministic across platforms.
+class Xoshiro256 {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0xa64f'0000'00ca'a11eull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t n) {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Counter-based generator: stateless hash of (stream, counter).  Each
+/// SIMD lane or thread owns a stream; lanes can advance independently,
+/// which is what makes the Monte Carlo inner loop vectorizable.
+struct CounterRng {
+  std::uint64_t stream;
+
+  explicit constexpr CounterRng(std::uint64_t stream_id) : stream(stream_id) {}
+
+  /// 64 random bits for counter value `i`.
+  constexpr std::uint64_t bits(std::uint64_t i) const {
+    SplitMix64 sm(stream * 0x9e3779b97f4a7c15ull + i + 1);
+    std::uint64_t a = sm.next();
+    return a ^ (a >> 29);
+  }
+
+  /// Uniform double in [0,1) for counter value `i`.
+  constexpr double uniform(std::uint64_t i) const {
+    return static_cast<double>(bits(i) >> 11) * 0x1.0p-53;
+  }
+};
+
+/// Fisher–Yates permutation of 0..n-1.
+inline std::vector<std::uint32_t> random_permutation(std::size_t n, Xoshiro256& rng) {
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.bounded(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+/// Permutation of 0..n-1 that only permutes *within* windows of
+/// `window_elems` consecutive elements (paper: 16 doubles = 128 bytes).
+/// A trailing partial window is permuted within itself.
+inline std::vector<std::uint32_t> windowed_permutation(std::size_t n, std::size_t window_elems,
+                                                       Xoshiro256& rng) {
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  for (std::size_t base = 0; base < n; base += window_elems) {
+    const std::size_t w = std::min(window_elems, n - base);
+    for (std::size_t i = w; i > 1; --i) {
+      const std::size_t j = rng.bounded(i);
+      std::swap(idx[base + i - 1], idx[base + j]);
+    }
+  }
+  return idx;
+}
+
+/// Fill `out` with uniform doubles in [lo, hi).
+inline void fill_uniform(std::span<double> out, double lo, double hi, Xoshiro256& rng) {
+  for (auto& v : out) v = rng.uniform(lo, hi);
+}
+
+}  // namespace ookami

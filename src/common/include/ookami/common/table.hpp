@@ -1,0 +1,89 @@
+#pragma once
+// Plain-text table and bar-chart rendering for the bench harnesses.
+// Every figure in the paper is reproduced as a table of series plus an
+// ASCII bar chart, and optionally a CSV file for external plotting.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ookami {
+
+/// Column-aligned text table.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `precision` significant decimals.
+  static std::string num(double v, int precision = 3);
+
+  /// Render with single-space-padded columns and a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Comma-separated (RFC-4180-ish, quotes cells containing commas).
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal ASCII bar chart: one labelled bar per entry, scaled to
+/// `width` characters at the maximum value.
+class BarChart {
+public:
+  explicit BarChart(std::string title, int width = 50) : title_(std::move(title)), width_(width) {}
+
+  void add(std::string label, double value, std::string annotation = {});
+
+  [[nodiscard]] std::string str() const;
+
+private:
+  struct Entry {
+    std::string label;
+    double value;
+    std::string annotation;
+  };
+  std::string title_;
+  int width_;
+  std::vector<Entry> entries_;
+};
+
+/// Grouped series (one value per (group, series) cell) rendered as both
+/// a table and per-group bar charts — the shape of the paper's Figs 1-9.
+class GroupedSeries {
+public:
+  GroupedSeries(std::string title, std::string group_name);
+
+  void set(const std::string& group, const std::string& series, double value);
+  [[nodiscard]] double get(const std::string& group, const std::string& series) const;
+  [[nodiscard]] bool has(const std::string& group, const std::string& series) const;
+
+  [[nodiscard]] const std::vector<std::string>& groups() const { return groups_; }
+  [[nodiscard]] const std::vector<std::string>& series() const { return series_; }
+
+  /// Table with one row per group, one column per series.
+  [[nodiscard]] std::string table(int precision = 3) const;
+  /// Bar charts, one block per group.
+  [[nodiscard]] std::string bars(int width = 40) const;
+  [[nodiscard]] std::string csv(int precision = 6) const;
+
+private:
+  std::string title_;
+  std::string group_name_;
+  std::vector<std::string> groups_;
+  std::vector<std::string> series_;
+  std::vector<std::vector<double>> values_;  // [group][series], NaN = missing
+};
+
+/// Write `content` to `path`, creating parent directories; returns false
+/// on failure (benches treat output files as best-effort).
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace ookami

@@ -1,0 +1,68 @@
+#pragma once
+// Minimal OpenMP-style fork/join thread pool.
+//
+// The NPB, LULESH and HPCC kernels in this kit are threaded the way the
+// paper's OpenMP codes are: a static, contiguous partition of the
+// iteration space per thread (OpenMP `schedule(static)`).  Static
+// partitioning is load-bearing for the NUMA experiments — the simulated
+// first-touch policy maps thread -> CMG exactly as SLURM core binding
+// does on Ookami, so the same thread must own the same slice in the
+// initialization and compute phases.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ookami {
+
+/// Fork/join pool with `num_threads` persistent workers (worker 0 is the
+/// calling thread).  Not reentrant: nested parallel_for from inside a
+/// worker runs sequentially, mirroring OpenMP's default nested-off.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return num_threads_; }
+
+  /// Run `body(begin, end, thread_id)` over [first, last) split into one
+  /// contiguous chunk per thread (OpenMP schedule(static)).
+  void parallel_for(std::size_t first, std::size_t last,
+                    const std::function<void(std::size_t, std::size_t, unsigned)>& body);
+
+  /// parallel_for + per-thread partial results combined with `combine`.
+  double parallel_reduce(
+      std::size_t first, std::size_t last, double init,
+      const std::function<double(std::size_t, std::size_t, unsigned)>& body,
+      const std::function<double(double, double)>& combine);
+
+  /// Static chunk [begin, end) owned by `tid` of `nthreads` over n items.
+  static std::pair<std::size_t, std::size_t> static_chunk(std::size_t n, unsigned tid,
+                                                          unsigned nthreads);
+
+  /// Process-wide default pool sized to hardware concurrency.
+  static ThreadPool& global();
+
+private:
+  void worker_loop(unsigned tid);
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  bool active_ = false;  // a parallel region is executing (blocks reentry)
+  const std::function<void(unsigned)>* task_ = nullptr;
+};
+
+}  // namespace ookami

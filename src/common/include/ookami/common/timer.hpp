@@ -1,0 +1,55 @@
+#pragma once
+// Wall-clock timing and repeat-measurement helpers.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "ookami/common/stats.hpp"
+
+namespace ookami {
+
+/// Monotonic wall-clock timer with nanosecond resolution.
+class WallTimer {
+public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Nanoseconds since construction or last reset().
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_).count());
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Run `fn` repeatedly and return per-run timing statistics in seconds.
+/// One untimed warm-up run precedes the measured runs.
+inline Summary time_repeated(const std::function<void()>& fn, int repeats = 5) {
+  fn();  // warm-up
+  Summary s;
+  for (int i = 0; i < repeats; ++i) {
+    WallTimer t;
+    fn();
+    s.add(t.elapsed());
+  }
+  return s;
+}
+
+/// Time `fn` once; convenience for coarse measurements.
+inline double time_once(const std::function<void()>& fn) {
+  WallTimer t;
+  fn();
+  return t.elapsed();
+}
+
+}  // namespace ookami

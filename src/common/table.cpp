@@ -1,0 +1,186 @@
+#include "ookami/common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ookami {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  auto cell = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << cell(row[c]) << (c + 1 < row.size() ? "," : "");
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void BarChart::add(std::string label, double value, std::string annotation) {
+  entries_.push_back({std::move(label), value, std::move(annotation)});
+}
+
+std::string BarChart::str() const {
+  std::ostringstream os;
+  os << title_ << '\n';
+  double maxv = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& e : entries_) {
+    maxv = std::max(maxv, e.value);
+    label_w = std::max(label_w, e.label.size());
+  }
+  if (maxv <= 0.0) maxv = 1.0;
+  for (const auto& e : entries_) {
+    const int n = static_cast<int>(std::lround(e.value / maxv * width_));
+    os << "  " << e.label << std::string(label_w - e.label.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(std::max(n, 0)), '#') << " "
+       << TextTable::num(e.value, 3);
+    if (!e.annotation.empty()) os << "  " << e.annotation;
+    os << '\n';
+  }
+  return os.str();
+}
+
+GroupedSeries::GroupedSeries(std::string title, std::string group_name)
+    : title_(std::move(title)), group_name_(std::move(group_name)) {}
+
+void GroupedSeries::set(const std::string& group, const std::string& series, double value) {
+  auto gi = std::find(groups_.begin(), groups_.end(), group);
+  if (gi == groups_.end()) {
+    groups_.push_back(group);
+    values_.emplace_back(series_.size(), std::numeric_limits<double>::quiet_NaN());
+    gi = std::prev(groups_.end());
+  }
+  auto si = std::find(series_.begin(), series_.end(), series);
+  if (si == series_.end()) {
+    series_.push_back(series);
+    for (auto& row : values_) row.push_back(std::numeric_limits<double>::quiet_NaN());
+    si = std::prev(series_.end());
+  }
+  values_[static_cast<std::size_t>(gi - groups_.begin())]
+         [static_cast<std::size_t>(si - series_.begin())] = value;
+}
+
+double GroupedSeries::get(const std::string& group, const std::string& series) const {
+  auto gi = std::find(groups_.begin(), groups_.end(), group);
+  auto si = std::find(series_.begin(), series_.end(), series);
+  if (gi == groups_.end() || si == series_.end()) {
+    throw std::out_of_range("GroupedSeries::get: unknown group or series");
+  }
+  return values_[static_cast<std::size_t>(gi - groups_.begin())]
+                [static_cast<std::size_t>(si - series_.begin())];
+}
+
+bool GroupedSeries::has(const std::string& group, const std::string& series) const {
+  auto gi = std::find(groups_.begin(), groups_.end(), group);
+  auto si = std::find(series_.begin(), series_.end(), series);
+  if (gi == groups_.end() || si == series_.end()) return false;
+  return !std::isnan(values_[static_cast<std::size_t>(gi - groups_.begin())]
+                            [static_cast<std::size_t>(si - series_.begin())]);
+}
+
+std::string GroupedSeries::table(int precision) const {
+  std::vector<std::string> header{group_name_};
+  header.insert(header.end(), series_.begin(), series_.end());
+  TextTable t(std::move(header));
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    std::vector<std::string> row{groups_[g]};
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      row.push_back(std::isnan(values_[g][s]) ? "-" : TextTable::num(values_[g][s], precision));
+    }
+    t.add_row(std::move(row));
+  }
+  return title_ + "\n" + t.str();
+}
+
+std::string GroupedSeries::bars(int width) const {
+  std::ostringstream os;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    BarChart chart(title_ + " — " + group_name_ + ": " + groups_[g], width);
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      if (!std::isnan(values_[g][s])) chart.add(series_[s], values_[g][s]);
+    }
+    os << chart.str() << '\n';
+  }
+  return os.str();
+}
+
+std::string GroupedSeries::csv(int precision) const {
+  std::vector<std::string> header{group_name_};
+  header.insert(header.end(), series_.begin(), series_.end());
+  TextTable t(std::move(header));
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    std::vector<std::string> row{groups_[g]};
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      row.push_back(std::isnan(values_[g][s]) ? "" : TextTable::num(values_[g][s], precision));
+    }
+    t.add_row(std::move(row));
+  }
+  return t.csv();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace ookami

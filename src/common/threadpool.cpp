@@ -1,0 +1,110 @@
+#include "ookami/common/threadpool.hpp"
+
+#include <algorithm>
+
+namespace ookami {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(num_threads ? num_threads : std::max(1u, std::thread::hardware_concurrency())) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned tid = 1; tid < num_threads_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* task = nullptr;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(tid);
+    {
+      std::lock_guard lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::static_chunk(std::size_t n, unsigned tid,
+                                                             unsigned nthreads) {
+  const std::size_t base = n / nthreads;
+  const std::size_t rem = n % nthreads;
+  const std::size_t begin = static_cast<std::size_t>(tid) * base + std::min<std::size_t>(tid, rem);
+  const std::size_t len = base + (tid < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void ThreadPool::parallel_for(
+    std::size_t first, std::size_t last,
+    const std::function<void(std::size_t, std::size_t, unsigned)>& body) {
+  const std::size_t n = last > first ? last - first : 0;
+  if (n == 0) return;
+
+  bool run_serial = num_threads_ == 1;
+  if (!run_serial) {
+    std::lock_guard lk(mu_);
+    if (active_) run_serial = true;  // nested region: degrade to serial
+  }
+  if (run_serial) {
+    body(first, last, 0);
+    return;
+  }
+
+  const unsigned nthreads = static_cast<unsigned>(std::min<std::size_t>(num_threads_, n));
+  std::function<void(unsigned)> task = [&, nthreads](unsigned tid) {
+    if (tid >= nthreads) return;
+    auto [b, e] = static_chunk(n, tid, nthreads);
+    if (b < e) body(first + b, first + e, tid);
+  };
+
+  {
+    std::lock_guard lk(mu_);
+    active_ = true;
+    task_ = &task;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  task(0);
+  {
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    active_ = false;
+    task_ = nullptr;
+  }
+}
+
+double ThreadPool::parallel_reduce(
+    std::size_t first, std::size_t last, double init,
+    const std::function<double(std::size_t, std::size_t, unsigned)>& body,
+    const std::function<double(double, double)>& combine) {
+  std::vector<double> partial(num_threads_, init);
+  parallel_for(first, last, [&](std::size_t b, std::size_t e, unsigned tid) {
+    partial[tid] = combine(partial[tid], body(b, e, tid));
+  });
+  double acc = init;
+  for (double p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ookami

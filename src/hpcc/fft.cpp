@@ -1,0 +1,77 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "ookami/hpcc/hpcc.hpp"
+
+namespace ookami::hpcc {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void bit_reverse_permute(std::vector<cplx>& a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<cplx>& data, bool inverse, ThreadPool& pool) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: length must be a power of two");
+  bit_reverse_permute(data);
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    const std::size_t groups = n / len;
+    // Butterflies of distinct groups are independent; parallelize over
+    // groups while they outnumber the threads (the early, cache-local
+    // stages), then serially for the long final stages.
+    auto group_body = [&](std::size_t g) {
+      const std::size_t base = g * len;
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[base + k];
+        const cplx v = data[base + k + len / 2] * w;
+        data[base + k] = u + v;
+        data[base + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    };
+    if (groups >= pool.size() * 4 && pool.size() > 1) {
+      pool.parallel_for(0, groups, [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t g = b; g < e; ++g) group_body(g);
+      });
+    } else {
+      for (std::size_t g = 0; g < groups; ++g) group_body(g);
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : data) v *= inv_n;
+  }
+}
+
+std::vector<cplx> dft_reference(const std::vector<cplx>& in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<cplx> out(n);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx s(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = sign * M_PI * static_cast<double>(k * t) / static_cast<double>(n);
+      s += in[t] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? s / static_cast<double>(n) : s;
+  }
+  return out;
+}
+
+}  // namespace ookami::hpcc

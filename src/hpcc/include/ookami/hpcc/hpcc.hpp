@@ -1,0 +1,103 @@
+#pragma once
+// HPC Challenge subset (Section VII): DGEMM, HPL, and FFT.
+//
+// Each benchmark exists as real, tested numerical code at host scale
+// (several implementation tiers standing in for the library-quality
+// axis: naive ~= an unoptimized reference, blocked ~= OpenBLAS without
+// SVE kernels, blocked+SIMD+threads ~= a vendor library), plus the
+// Figure 8/9 projection machinery: per-(system, library) efficiency
+// tables calibrated against the paper's measured percent-of-peak
+// values, and netsim-based multi-node scaling.
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ookami/common/threadpool.hpp"
+#include "ookami/netsim/netsim.hpp"
+#include "ookami/perf/machine.hpp"
+
+namespace ookami::hpcc {
+
+// ---------------------------------------------------------------------------
+// DGEMM
+// ---------------------------------------------------------------------------
+
+/// Implementation tier (the "library quality" axis).
+enum class GemmImpl {
+  kNaive,    ///< textbook ijk loops
+  kBlocked,  ///< cache-blocked, scalar inner kernel
+  kTuned,    ///< cache-blocked + vector-friendly micro-kernel + threads
+};
+
+/// C = A*B for n x n row-major matrices.
+void dgemm(GemmImpl impl, std::size_t n, const double* a, const double* b, double* c,
+           ThreadPool& pool);
+
+/// Max |C_impl - C_naive| on random matrices (test hook).
+double dgemm_check(GemmImpl impl, std::size_t n, unsigned threads);
+
+// ---------------------------------------------------------------------------
+// HPL (LU factorization with partial pivoting + solve)
+// ---------------------------------------------------------------------------
+
+struct HplResult {
+  double residual_norm;   ///< ||Ax - b||_inf / (||A|| ||x|| n eps)
+  double gflops;          ///< 2/3 n^3 / time
+  bool verified;          ///< residual below the HPL threshold (16)
+};
+
+/// Factor/solve a random n x n dense system with blocked right-looking
+/// LU (block size nb) and check the HPL scaled residual.
+HplResult hpl_solve(std::size_t n, std::size_t nb, unsigned threads, std::uint64_t seed = 1);
+
+// ---------------------------------------------------------------------------
+// FFT
+// ---------------------------------------------------------------------------
+
+using cplx = std::complex<double>;
+
+/// In-place iterative radix-2 complex FFT; n must be a power of two.
+/// `inverse` applies the conjugate transform scaled by 1/n.
+void fft(std::vector<cplx>& data, bool inverse, ThreadPool& pool);
+
+/// Direct O(n^2) DFT (test oracle for small n).
+std::vector<cplx> dft_reference(const std::vector<cplx>& in, bool inverse);
+
+// ---------------------------------------------------------------------------
+// Figure 8 / 9 projection tables
+// ---------------------------------------------------------------------------
+
+/// One (system, library) point of Figure 8/9A/9C.
+struct LibraryPoint {
+  std::string system;
+  std::string library;
+  double fraction_of_peak;   ///< calibration: paper's measured %-of-peak
+};
+
+/// DGEMM per-core GF/s points of Figure 8 (systems x libraries).
+std::vector<LibraryPoint> fig8_dgemm_points();
+
+/// HPL single-node GF/s points of Figure 9A.
+std::vector<LibraryPoint> fig9a_hpl_points();
+
+/// FFT single-node GF/s points of Figure 9C.
+std::vector<LibraryPoint> fig9c_fft_points();
+
+/// GF/s for a point given its machine (peak x fraction).
+double point_gflops_per_core(const LibraryPoint& pt);
+const perf::MachineModel& system_model(const std::string& system);
+
+/// Multi-node HPL GF/s (Fig. 9B): compute from the single-node number
+/// plus netsim communication for the weak-scaled problem
+/// (matrix (20000 sqrt(N))^2).
+double hpl_multinode_gflops(const LibraryPoint& single_node, const netsim::MpiStack& stack,
+                            int nodes);
+
+/// Multi-node FFT GF/s (Fig. 9D): alltoall-dominated transpose model on
+/// a vector of 20000^2 * N elements.
+double fft_multinode_gflops(const LibraryPoint& single_node, const netsim::MpiStack& stack,
+                            int nodes);
+
+}  // namespace ookami::hpcc

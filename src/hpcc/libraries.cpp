@@ -1,0 +1,108 @@
+// Figure 8/9 projection tables and multi-node models.
+//
+// fraction_of_peak values are calibration constants taken from the
+// paper's own reported percentages where stated (A64FX DGEMM 71%, SKX
+// 97%, KNL 11%, Fujitsu/OpenBLAS ratio 14x, HPL ratio ~10x, FFTW ratio
+// 4.2x) and from the qualitative orderings otherwise.  EXPERIMENTS.md
+// records which numbers are anchored and which are inferred.
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ookami/hpcc/hpcc.hpp"
+
+namespace ookami::hpcc {
+
+std::vector<LibraryPoint> fig8_dgemm_points() {
+  return {
+      {"Ookami", "fujitsu-blas", 0.71},   // paper: 71% of peak
+      {"Ookami", "armpl", 0.50},
+      {"Ookami", "cray-libsci", 0.42},
+      {"Ookami", "openblas", 0.051},      // paper: ~14x below Fujitsu BLAS
+      {"Stampede2-SKX", "mkl", 0.97},     // paper: 97%
+      {"Stampede2-KNL", "mkl", 0.11},     // paper: 11%
+      {"Bridges2-Zen2", "blis", 0.71},    // paper: A64FX core ~1.6x faster
+      {"Expanse-Zen2", "blis", 0.73},
+  };
+}
+
+std::vector<LibraryPoint> fig9a_hpl_points() {
+  return {
+      {"Ookami", "fujitsu-blas", 0.58},
+      {"Ookami", "armpl", 0.45},
+      {"Ookami", "cray-libsci", 0.40},
+      {"Ookami", "openblas", 0.058},      // ~10x below Fujitsu BLAS
+      {"Stampede2-SKX", "mkl", 0.75},
+      {"Stampede2-KNL", "mkl", 0.45},
+      {"Bridges2-Zen2", "blis", 0.56},
+      {"Expanse-Zen2", "blis", 0.58},
+  };
+}
+
+std::vector<LibraryPoint> fig9c_fft_points() {
+  return {
+      {"Ookami", "fujitsu-fftw", 0.022},  // 4.2x plain FFTW
+      {"Ookami", "cray-fftw", 0.015},
+      {"Ookami", "fftw", 0.0052},
+      {"Ookami", "armpl-fft", 0.003},     // "seems to be unoptimized"
+      {"Stampede2-SKX", "mkl-fft", 0.035},
+      {"Stampede2-KNL", "mkl-fft", 0.010},
+      {"Bridges2-Zen2", "fftw", 0.035},
+      {"Expanse-Zen2", "fftw", 0.035},
+  };
+}
+
+const perf::MachineModel& system_model(const std::string& system) {
+  if (system == "Ookami") return perf::a64fx();
+  if (system == "Stampede2-SKX") return perf::skylake_8160();
+  if (system == "Stampede2-KNL") return perf::knl_7250();
+  if (system == "Bridges2-Zen2" || system == "Expanse-Zen2") return perf::zen2_7742();
+  throw std::invalid_argument("unknown system: " + system);
+}
+
+double point_gflops_per_core(const LibraryPoint& pt) {
+  return system_model(pt.system).peak_gflops_core() * pt.fraction_of_peak;
+}
+
+double hpl_multinode_gflops(const LibraryPoint& single_node, const netsim::MpiStack& stack,
+                            int nodes) {
+  const auto& m = system_model(single_node.system);
+  const double node_gflops = m.peak_gflops_node() * single_node.fraction_of_peak;
+  const double p = nodes;
+  const double n = 20000.0 * std::sqrt(p);  // the paper's weak-scaling rule
+  const double flops = 2.0 / 3.0 * n * n * n;
+  const double t_comp = flops / p / (node_gflops * 1e9);
+  if (nodes == 1) return flops / t_comp / 1e9;
+
+  // Communication per node: the factored panels are broadcast along
+  // rows/columns of the process grid — O(N^2/sqrt(P) * log P) bytes —
+  // plus pivoting latency for each of the N/nb panel columns.
+  const netsim::Fabric fabric = netsim::hdr200();
+  const netsim::CostModel cost(fabric, stack, nodes);
+  const double bytes = n * n * 8.0 * std::log2(p) / std::sqrt(p);
+  const double panels = n / 200.0;
+  const double t_comm = cost.message_seconds(static_cast<std::size_t>(bytes)) +
+                        panels * std::log2(p) * cost.message_seconds(8 * 200);
+  return flops / (t_comp + t_comm) / 1e9;
+}
+
+double fft_multinode_gflops(const LibraryPoint& single_node, const netsim::MpiStack& stack,
+                            int nodes) {
+  const auto& m = system_model(single_node.system);
+  const double node_gflops = m.peak_gflops_node() * single_node.fraction_of_peak;
+  const double p = nodes;
+  const double v = 20000.0 * 20000.0 * p;  // vector length (weak scaling)
+  const double flops = 5.0 * v * std::log2(v);
+  const double t_comp = flops / p / (node_gflops * 1e9);
+  if (nodes == 1) return flops / t_comp / 1e9;
+
+  // Distributed 1D FFT: two full transposes (alltoall), each moving the
+  // entire local slab (16 bytes/complex element) off-node.
+  const netsim::Fabric fabric = netsim::hdr200();
+  const netsim::CostModel cost(fabric, stack, nodes);
+  const double slab_bytes = v / p * 16.0;
+  const double t_comm = 2.0 * cost.message_seconds(static_cast<std::size_t>(slab_bytes));
+  return flops / (t_comp + t_comm) / 1e9;
+}
+
+}  // namespace ookami::hpcc

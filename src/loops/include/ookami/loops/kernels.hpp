@@ -1,0 +1,104 @@
+#pragma once
+// The paper's Section III loop-vectorization test suite.
+//
+// Eleven kernels: simple, predicate, gather, scatter, their "short"
+// (128-byte-window) variants, and five math-function loops (reciprocal,
+// square root, exponential, sine, power).  Each kernel exists twice:
+//   * an *executable* form — a scalar reference and an SVE-emulation
+//     implementation that really run and are checked against each other
+//     (tests/) and timed on the host (bench/micro_kernels);
+//   * a *descriptor* form (`KernelSpec`) — the per-element operation
+//     content a compiler sees, which ookami::toolchain lowers to a
+//     perf::LoweredLoop for cycle estimates on the modelled machines.
+// Working-set sizes default to "collectively fill the L1 cache" as in
+// the paper.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ookami/common/aligned.hpp"
+#include "ookami/common/rng.hpp"
+
+namespace ookami::loops {
+
+enum class LoopKind {
+  kSimple,        // y[i] = 2*x[i] + 3*x[i]*x[i]
+  kPredicate,     // if (x[i] > 0) y[i] = x[i]
+  kGather,        // y[i] = x[index[i]], index = random permutation
+  kScatter,       // y[index[i]] = x[i]
+  kShortGather,   // gather with permutation confined to 128-B windows
+  kShortScatter,  // scatter with permutation confined to 128-B windows
+  kRecip,         // y[i] = 1 / x[i]
+  kSqrt,          // y[i] = sqrt(x[i])
+  kExp,           // y[i] = exp(x[i])
+  kSin,           // y[i] = sin(x[i])
+  kPow,           // y[i] = pow(x[i], 1.5)
+};
+
+/// All kinds, in the paper's figure order (Fig. 1 then Fig. 2).
+std::vector<LoopKind> all_loop_kinds();
+std::vector<LoopKind> fig1_loop_kinds();  ///< simple .. short scatter
+std::vector<LoopKind> fig2_loop_kinds();  ///< recip .. pow
+
+std::string loop_name(LoopKind kind);
+
+/// Which math function (if any) the loop body calls.
+enum class MathFn { kNone, kRecip, kSqrt, kExp, kSin, kPow };
+
+/// Per-element operation content of the source loop, before a compiler
+/// touches it.
+struct KernelSpec {
+  LoopKind kind;
+  double fma = 0.0;      ///< fusable multiply-adds per element
+  double mul = 0.0;
+  double add = 0.0;
+  double cmp = 0.0;      ///< comparisons / selects per element
+  double loads = 0.0;    ///< contiguous elements loaded per element
+  double stores = 0.0;   ///< contiguous elements stored per element
+  double pred_stores = 0.0;  ///< stores under a data-dependent mask
+  double gather = 0.0;   ///< indexed loads per element
+  double scatter = 0.0;  ///< indexed stores per element
+  bool windowed_128 = false;
+  MathFn math = MathFn::kNone;
+  double math_calls = 0.0;
+};
+
+/// The descriptor for one of the suite's kernels.
+KernelSpec kernel_spec(LoopKind kind);
+
+// ---------------------------------------------------------------------------
+// Executable kernels
+// ---------------------------------------------------------------------------
+
+/// Input/output arrays for one kernel run.
+struct LoopData {
+  avec<double> x;               ///< input
+  avec<double> y;               ///< output
+  std::vector<std::uint32_t> index;  ///< permutation (gather/scatter only)
+
+  [[nodiscard]] std::size_t n() const { return x.size(); }
+};
+
+/// Elements such that x + y together fill the 64 KB A64FX L1 (paper's
+/// sizing rule): 4096 doubles each.
+inline constexpr std::size_t kL1Elems = 4096;
+
+/// Build deterministic input data for `kind` (positive inputs for
+/// sqrt/log domains; ~50% sign split for the predicate loop; windowed
+/// permutation for the short variants).
+LoopData make_loop_data(LoopKind kind, std::size_t n = kL1Elems, std::uint64_t seed = 7);
+
+/// Run the kernel with plain scalar code (the reference).
+void run_scalar(LoopKind kind, LoopData& d);
+
+/// Run the kernel through the SVE emulation layer (predicated vector
+/// code, the shape an SVE compiler emits).
+void run_sve(LoopKind kind, LoopData& d);
+
+/// Maximum ULP distance between the scalar and SVE outputs of `kind`
+/// on the same data (used by tests; exercises every kernel end-to-end).
+double max_ulp_scalar_vs_sve(LoopKind kind, std::size_t n = kL1Elems, std::uint64_t seed = 7);
+
+}  // namespace ookami::loops

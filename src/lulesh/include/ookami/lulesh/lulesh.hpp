@@ -1,0 +1,54 @@
+#pragma once
+// LULESH-style Sedov blast proxy (Section VI of the paper).
+//
+// A compact explicit Lagrangian shock-hydrodynamics code with the
+// structural essentials of LULESH 1.0: a hexahedral mesh whose nodes
+// move with the fluid, element-centred thermodynamic state (energy,
+// pressure, artificial viscosity, volume, mass), node-centred kinematic
+// state (position, velocity), a leapfrog step that gathers nodal
+// positions per element (stress + hourglass-filter force pattern), an
+// ideal-gas EOS, and a Sedov point-energy initial condition with
+// symmetry boundary conditions on the three coordinate planes.
+//
+// Two implementations of the hot element kernels are provided, matching
+// Table II's "Base" (reference scalar loops over elements) and "Vect"
+// (restructured, SoA + SVE-emulation vector kernels) variants; both can
+// run single- or multi-threaded.  Verification is physical: total
+// (internal + kinetic) energy conservation and octant symmetry of the
+// blast.
+
+#include <cstddef>
+#include <vector>
+
+#include "ookami/common/threadpool.hpp"
+#include "ookami/perf/app_model.hpp"
+
+namespace ookami::lulesh {
+
+enum class Variant { kBase, kVect };
+
+/// Simulation options.
+struct Options {
+  int edge_elems = 16;      ///< elements per cube edge (LULESH default 45)
+  int max_steps = 60;       ///< time steps
+  Variant variant = Variant::kBase;
+  unsigned threads = 1;
+};
+
+/// Outcome of a run.
+struct Outcome {
+  double seconds = 0.0;          ///< wall time of the stepping loop
+  int steps = 0;
+  double final_origin_energy = 0.0;   ///< energy of the origin element
+  double total_energy_drift = 0.0;    ///< |E(t)-E(0)| / E(0)
+  double symmetry_error = 0.0;        ///< max deviation across the octant symmetry
+  bool verified = false;
+};
+
+/// Run the Sedov problem.
+Outcome run_sedov(const Options& opt);
+
+/// Table II workload profile for the model (Base or Vect variant).
+perf::AppProfile table2_profile(Variant v);
+
+}  // namespace ookami::lulesh

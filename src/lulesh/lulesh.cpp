@@ -1,0 +1,375 @@
+#include "ookami/lulesh/lulesh.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "ookami/common/timer.hpp"
+#include "ookami/sve/sve.hpp"
+
+namespace ookami::lulesh {
+
+namespace {
+
+constexpr double kGamma = 1.4;
+constexpr double kE0 = 1.0;        // Sedov point energy
+constexpr double kCfl = 0.2;
+constexpr double kQ1 = 0.3;        // linear artificial-viscosity coefficient
+constexpr double kQ2 = 2.0;        // quadratic artificial-viscosity coefficient
+
+/// Kuhn triangulation of the hexahedron along the 0-7 diagonal (local
+/// corners are bit-coded: bit0 -> +x, bit1 -> +y, bit2 -> +z), each tet
+/// ordered positively.  A consistent decomposition across all elements
+/// keeps volumes exact and the volume derivative conservative.
+constexpr int kTets[6][4] = {{0, 1, 3, 7}, {0, 5, 1, 7}, {0, 3, 2, 7},
+                             {0, 2, 6, 7}, {0, 4, 5, 7}, {0, 6, 4, 7}};
+
+struct V3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+V3 cross(const V3& a, const V3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+V3 sub(const V3& a, const V3& b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+double dot(const V3& a, const V3& b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+/// Mesh state in SoA form (shared by both variants).
+struct State {
+  int n;              // elements per edge
+  int nn;             // nodes per edge = n+1
+  // Nodes.
+  std::vector<double> x, y, z;     // positions
+  std::vector<double> xd, yd, zd;  // velocities
+  std::vector<double> nmass;
+  // Elements.
+  std::vector<double> energy;  // total internal energy per element
+  std::vector<double> press, qvisc;
+  std::vector<double> vol, vol_prev, dvdt;
+  std::vector<double> emass;
+  // Per-(element, local node) volume gradient, SoA over elements.
+  std::vector<double> bx, by, bz;  // size nelem*8
+
+  [[nodiscard]] std::size_t nidx(int i, int j, int k) const {
+    return (static_cast<std::size_t>(i) * nn + j) * nn + static_cast<std::size_t>(k);
+  }
+  [[nodiscard]] std::size_t eidx(int i, int j, int k) const {
+    return (static_cast<std::size_t>(i) * n + j) * n + static_cast<std::size_t>(k);
+  }
+  [[nodiscard]] std::size_t nelem() const { return static_cast<std::size_t>(n) * n * n; }
+  [[nodiscard]] std::size_t nnode() const {
+    return static_cast<std::size_t>(nn) * nn * nn;
+  }
+
+  /// Global node indices of element (i,j,k) in local order 0..7
+  /// (x-major corner numbering: bit0->+i, bit1->+j, bit2->+k).
+  std::array<std::size_t, 8> elem_nodes(int i, int j, int k) const {
+    std::array<std::size_t, 8> nd;
+    for (int c = 0; c < 8; ++c) {
+      nd[static_cast<std::size_t>(c)] = nidx(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1));
+    }
+    return nd;
+  }
+};
+
+State make_state(int n) {
+  State s;
+  s.n = n;
+  s.nn = n + 1;
+  const std::size_t nn3 = s.nnode();
+  const std::size_t ne = s.nelem();
+  s.x.resize(nn3);
+  s.y.resize(nn3);
+  s.z.resize(nn3);
+  s.xd.assign(nn3, 0.0);
+  s.yd.assign(nn3, 0.0);
+  s.zd.assign(nn3, 0.0);
+  s.nmass.assign(nn3, 0.0);
+  s.energy.assign(ne, 1e-12);
+  s.press.assign(ne, 0.0);
+  s.qvisc.assign(ne, 0.0);
+  s.vol.assign(ne, 0.0);
+  s.vol_prev.assign(ne, 0.0);
+  s.dvdt.assign(ne, 0.0);
+  s.emass.assign(ne, 0.0);
+  s.bx.assign(ne * 8, 0.0);
+  s.by.assign(ne * 8, 0.0);
+  s.bz.assign(ne * 8, 0.0);
+
+  const double h = 1.0 / n;
+  for (int i = 0; i <= n; ++i) {
+    for (int j = 0; j <= n; ++j) {
+      for (int k = 0; k <= n; ++k) {
+        const std::size_t id = s.nidx(i, j, k);
+        s.x[id] = i * h;
+        s.y[id] = j * h;
+        s.z[id] = k * h;
+      }
+    }
+  }
+  // Sedov deposit in the corner element; unit initial density.
+  s.energy[s.eidx(0, 0, 0)] = kE0;
+  const double v0 = h * h * h;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        s.emass[s.eidx(i, j, k)] = v0;
+        for (const std::size_t nd : s.elem_nodes(i, j, k)) s.nmass[nd] += v0 / 8.0;
+      }
+    }
+  }
+  return s;
+}
+
+/// Geometry pass: volume, volume gradient, and dV/dt of one element.
+void elem_geometry(State& s, int i, int j, int k) {
+  const auto nd = s.elem_nodes(i, j, k);
+  std::array<V3, 8> p, v;
+  for (int c = 0; c < 8; ++c) {
+    const std::size_t g = nd[static_cast<std::size_t>(c)];
+    p[static_cast<std::size_t>(c)] = {s.x[g], s.y[g], s.z[g]};
+    v[static_cast<std::size_t>(c)] = {s.xd[g], s.yd[g], s.zd[g]};
+  }
+  double volume = 0.0;
+  std::array<V3, 8> grad{};
+  for (const auto& tet : kTets) {
+    const V3& a = p[static_cast<std::size_t>(tet[0])];
+    const V3& b = p[static_cast<std::size_t>(tet[1])];
+    const V3& c = p[static_cast<std::size_t>(tet[2])];
+    const V3& d = p[static_cast<std::size_t>(tet[3])];
+    const V3 ab = sub(b, a), ac = sub(c, a), ad = sub(d, a);
+    volume += dot(cross(ab, ac), ad) / 6.0;
+    // dV/db = (ac x ad)/6, dV/dc = (ad x ab)/6, dV/dd = (ab x ac)/6,
+    // dV/da = -(sum).
+    const V3 gb = cross(ac, ad), gc = cross(ad, ab), gd = cross(ab, ac);
+    auto& ga = grad[static_cast<std::size_t>(tet[0])];
+    auto add6 = [](V3& dst, const V3& src, double sgn) {
+      dst.x += sgn * src.x / 6.0;
+      dst.y += sgn * src.y / 6.0;
+      dst.z += sgn * src.z / 6.0;
+    };
+    add6(grad[static_cast<std::size_t>(tet[1])], gb, 1.0);
+    add6(grad[static_cast<std::size_t>(tet[2])], gc, 1.0);
+    add6(grad[static_cast<std::size_t>(tet[3])], gd, 1.0);
+    add6(ga, gb, -1.0);
+    add6(ga, gc, -1.0);
+    add6(ga, gd, -1.0);
+  }
+  const std::size_t e = s.eidx(i, j, k);
+  s.vol[e] = volume;
+  double dvdt = 0.0;
+  for (int c = 0; c < 8; ++c) {
+    s.bx[e * 8 + static_cast<std::size_t>(c)] = grad[static_cast<std::size_t>(c)].x;
+    s.by[e * 8 + static_cast<std::size_t>(c)] = grad[static_cast<std::size_t>(c)].y;
+    s.bz[e * 8 + static_cast<std::size_t>(c)] = grad[static_cast<std::size_t>(c)].z;
+    dvdt += dot(grad[static_cast<std::size_t>(c)], v[static_cast<std::size_t>(c)]);
+  }
+  s.dvdt[e] = dvdt;
+}
+
+/// EOS + artificial viscosity, scalar ("Base") form.
+void eos_base(State& s, std::size_t b, std::size_t e) {
+  for (std::size_t q = b; q < e; ++q) {
+    const double vol = s.vol[q];
+    const double rho = s.emass[q] / vol;
+    const double press = (kGamma - 1.0) * s.energy[q] / vol;
+    s.press[q] = press;
+    const double lq = std::cbrt(vol);
+    const double du = s.dvdt[q] / vol * lq;  // velocity scale of compression
+    if (du < 0.0) {
+      const double cs = std::sqrt(kGamma * press / rho);
+      s.qvisc[q] = rho * (kQ2 * du * du + kQ1 * cs * std::fabs(du)) * 1.0;
+    } else {
+      s.qvisc[q] = 0.0;
+    }
+  }
+}
+
+/// EOS + artificial viscosity through the SVE emulation layer ("Vect").
+void eos_vect(State& s, std::size_t b, std::size_t e) {
+  namespace sv = ookami::sve;
+  for (std::size_t q = b; q < e; q += sv::kLanes) {
+    const std::size_t hi = std::min(e, q + sv::kLanes);
+    const sv::Pred pg = sv::whilelt(0, hi - q);
+    const sv::Vec vol = sv::ld1(pg, s.vol.data() + q);
+    const sv::Vec mass = sv::ld1(pg, s.emass.data() + q);
+    const sv::Vec energy = sv::ld1(pg, s.energy.data() + q);
+    const sv::Vec rho = mass / vol;
+    const sv::Vec press = sv::Vec(kGamma - 1.0) * energy / vol;
+    sv::st1(pg, s.press.data() + q, press);
+    // lq = vol^(1/3) via exp/log is overkill; per-lane cbrt matches Base.
+    sv::Vec lq;
+    for (int l = 0; l < sv::kLanes; ++l) lq[l] = std::cbrt(vol[l]);
+    const sv::Vec du = sv::ld1(pg, s.dvdt.data() + q) / vol * lq;
+    sv::Vec cs;
+    for (int l = 0; l < sv::kLanes; ++l) {
+      cs[l] = std::sqrt(kGamma * std::max(press[l], 0.0) / std::max(rho[l], 1e-300));
+    }
+    sv::Vec absdu;
+    for (int l = 0; l < sv::kLanes; ++l) absdu[l] = std::fabs(du[l]);
+    const sv::Vec qv = rho * (sv::Vec(kQ2) * du * du + sv::Vec(kQ1) * cs * absdu);
+    const sv::Pred compress = sv::cmplt(pg, du, sv::Vec(0.0));
+    sv::st1(pg, s.qvisc.data() + q, sv::sel(compress, qv, sv::Vec(0.0)));
+  }
+}
+
+}  // namespace
+
+Outcome run_sedov(const Options& opt) {
+  State s = make_state(opt.edge_elems);
+  ThreadPool pool(opt.threads);
+  const int n = s.n;
+
+  const double e_total0 = kE0;  // all energy starts internal, zero kinetic
+
+  auto geometry_pass = [&] {
+    pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t q = b; q < e; ++q) {
+        const int i = static_cast<int>(q) / (n * n);
+        const int j = (static_cast<int>(q) / n) % n;
+        const int k = static_cast<int>(q) % n;
+        elem_geometry(s, i, j, k);
+      }
+    });
+  };
+
+  std::vector<double> xd0, yd0, zd0;
+
+  WallTimer timer;
+  int step = 0;
+  for (; step < opt.max_steps; ++step) {
+    geometry_pass();
+
+    // EOS + artificial viscosity (the Table II Base/Vect distinction).
+    pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
+      if (opt.variant == Variant::kBase) {
+        eos_base(s, b, e);
+      } else {
+        eos_vect(s, b, e);
+      }
+    });
+
+    // Stable time step (Courant condition on compressed elements).
+    const double dt = pool.parallel_reduce(
+        0, s.nelem(), 1e9,
+        [&](std::size_t b, std::size_t e, unsigned) {
+          double best = 1e9;
+          for (std::size_t q = b; q < e; ++q) {
+            const double rho = s.emass[q] / s.vol[q];
+            const double cs = std::sqrt(kGamma * std::max(s.press[q], 1e-300) / rho);
+            const double lq = std::cbrt(s.vol[q]);
+            best = std::min(best, kCfl * lq / (cs + std::fabs(s.dvdt[q] / s.vol[q] * lq) + 1e-30));
+          }
+          return best;
+        },
+        [](double a, double b) { return std::min(a, b); });
+
+    // Nodal force gather + kinematics.  Node-centric accumulation over
+    // the (up to 8) adjacent elements keeps the update race-free and
+    // bitwise independent of the thread count.  Old velocities are kept
+    // so the energy update below can use midpoint velocities, making
+    // total-energy conservation exact by construction.
+    xd0 = s.xd;
+    yd0 = s.yd;
+    zd0 = s.zd;
+    pool.parallel_for(0, s.nnode(), [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t g = b; g < e; ++g) {
+        const int i = static_cast<int>(g) / (s.nn * s.nn);
+        const int j = (static_cast<int>(g) / s.nn) % s.nn;
+        const int k = static_cast<int>(g) % s.nn;
+        double fx = 0.0, fy = 0.0, fz = 0.0;
+        for (int c = 0; c < 8; ++c) {
+          const int ei = i - (c & 1), ej = j - ((c >> 1) & 1), ek = k - ((c >> 2) & 1);
+          if (ei < 0 || ej < 0 || ek < 0 || ei >= n || ej >= n || ek >= n) continue;
+          const std::size_t q = s.eidx(ei, ej, ek);
+          const double sig = s.press[q] + s.qvisc[q];
+          fx += sig * s.bx[q * 8 + static_cast<std::size_t>(c)];
+          fy += sig * s.by[q * 8 + static_cast<std::size_t>(c)];
+          fz += sig * s.bz[q * 8 + static_cast<std::size_t>(c)];
+        }
+        const double inv_m = 1.0 / s.nmass[g];
+        s.xd[g] += dt * fx * inv_m;
+        s.yd[g] += dt * fy * inv_m;
+        s.zd[g] += dt * fz * inv_m;
+        // Symmetry planes: zero normal velocity on i=0 / j=0 / k=0.
+        if (i == 0) s.xd[g] = 0.0;
+        if (j == 0) s.yd[g] = 0.0;
+        if (k == 0) s.zd[g] = 0.0;
+        s.x[g] += dt * s.xd[g];
+        s.y[g] += dt * s.yd[g];
+        s.z[g] += dt * s.zd[g];
+      }
+    });
+
+    // Internal-energy update: dE = -(p+q) * grad(V) . v_mid * dt.  The
+    // kinetic-energy gain per node is exactly F . v_mid * dt, so summing
+    // the two conserves total energy to round-off.
+    pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t q = b; q < e; ++q) {
+        const int i = static_cast<int>(q) / (n * n);
+        const int j = (static_cast<int>(q) / n) % n;
+        const int k = static_cast<int>(q) % n;
+        const auto nd = s.elem_nodes(i, j, k);
+        double work_rate = 0.0;
+        for (int c = 0; c < 8; ++c) {
+          const std::size_t g = nd[static_cast<std::size_t>(c)];
+          work_rate += s.bx[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (xd0[g] + s.xd[g]) +
+                       s.by[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (yd0[g] + s.yd[g]) +
+                       s.bz[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (zd0[g] + s.zd[g]);
+        }
+        s.energy[q] -= (s.press[q] + s.qvisc[q]) * work_rate * dt;
+      }
+    });
+  }
+  const double seconds = timer.elapsed();
+
+  double e_int = 0.0, e_kin = 0.0;
+  for (std::size_t q = 0; q < s.nelem(); ++q) e_int += s.energy[q];
+  for (std::size_t g = 0; g < s.nnode(); ++g) {
+    e_kin += 0.5 * s.nmass[g] *
+             (s.xd[g] * s.xd[g] + s.yd[g] * s.yd[g] + s.zd[g] * s.zd[g]);
+  }
+
+  // Octant symmetry: the problem is invariant under permuting the axes.
+  double sym = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        const double a = s.energy[s.eidx(i, j, k)];
+        const double b = s.energy[s.eidx(j, k, i)];
+        sym = std::max(sym, std::fabs(a - b));
+      }
+    }
+  }
+
+  Outcome out;
+  out.seconds = seconds;
+  out.steps = step;
+  out.final_origin_energy = s.energy[s.eidx(0, 0, 0)];
+  out.total_energy_drift = std::fabs(e_int + e_kin - e_total0) / e_total0;
+  out.symmetry_error = sym / kE0;
+  out.verified = out.total_energy_drift < 1e-7 && out.symmetry_error < 1e-12 &&
+                 *std::min_element(s.vol.begin(), s.vol.end()) > 0.0;
+  return out;
+}
+
+perf::AppProfile table2_profile(Variant v) {
+  // LULESH 1.0 at the paper's default problem size.  Base has almost no
+  // vectorizable coverage (AoS + branchy EOS); the Vect port exposes
+  // the element kernels to the vectorizer (done originally for Sandy
+  // Bridge, so SIMD-friendly but not SVE-tuned).
+  perf::AppProfile p;
+  p.name = v == Variant::kBase ? "LULESH-base" : "LULESH-vect";
+  // Calibrated to the Table II absolute scale (one LULESH 1.0 timed
+  // section at the paper's default problem size).
+  p.flops = 3.2e9;
+  p.dram_bytes = 4.5e9;
+  p.math_calls = 2.0e7;  // sqrt/cbrt in EOS and time-step control
+  p.vec_fraction = v == Variant::kBase ? 0.10 : 0.55;
+  p.serial_fraction = 0.004;
+  p.parallel_regions = 400;
+  p.random_access_fraction = 0.25;  // indirection through node lists
+  return p;
+}
+
+}  // namespace ookami::lulesh

@@ -1,0 +1,242 @@
+#include "ookami/npb/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "ookami/common/timer.hpp"
+#include "ookami/npb/randdp.hpp"
+
+namespace ookami::npb {
+
+namespace {
+
+constexpr double kRcond = 0.1;
+constexpr int kCgIterations = 25;
+
+/// NPB LCG stream used by makea (tran/amult in the reference).
+struct MakeaRng {
+  double tran = 314159265.0;
+  double next() { return randlc(tran, kNpbA); }
+};
+
+int icnvrt(double x, int ipwr2) { return static_cast<int>(ipwr2 * x); }
+
+/// Random sparse vector with `nz` distinct nonzero locations in [0, n).
+void sprnvc(MakeaRng& rng, int n, int nz, std::vector<double>& v, std::vector<int>& iv,
+            std::vector<int>& mark, std::vector<int>& marked_list) {
+  int nn1 = 1;
+  while (nn1 < n) nn1 <<= 1;
+
+  v.clear();
+  iv.clear();
+  marked_list.clear();
+  while (static_cast<int>(v.size()) < nz) {
+    const double vecelt = rng.next();
+    const double vecloc = rng.next();
+    const int i = icnvrt(vecloc, nn1);
+    if (i >= n) continue;
+    if (mark[static_cast<std::size_t>(i)] == 0) {
+      mark[static_cast<std::size_t>(i)] = 1;
+      marked_list.push_back(i);
+      v.push_back(vecelt);
+      iv.push_back(i);
+    }
+  }
+  for (int i : marked_list) mark[static_cast<std::size_t>(i)] = 0;
+}
+
+/// Force element `i` of the sparse vector to `val`.
+void vecset(std::vector<double>& v, std::vector<int>& iv, int i, double val) {
+  for (std::size_t k = 0; k < iv.size(); ++k) {
+    if (iv[k] == i) {
+      v[k] = val;
+      return;
+    }
+  }
+  v.push_back(val);
+  iv.push_back(i);
+}
+
+}  // namespace
+
+CgSpec cg_spec(Class cls) {
+  switch (cls) {
+    case Class::kS: return {1400, 7, 15, 10.0, 8.5971775078648};
+    case Class::kW: return {7000, 8, 15, 12.0, 10.362595087124};
+    case Class::kA: return {14000, 11, 15, 20.0, 17.130235054029};
+    case Class::kB: return {75000, 13, 75, 60.0, 22.712745482631};
+    case Class::kC: return {150000, 15, 75, 110.0, 28.973605592845};
+  }
+  std::abort();
+}
+
+CsrMatrix cg_makea(int na, int nonzer, double shift) {
+  MakeaRng rng;
+  (void)rng.next();  // the reference draws one zeta seed before makea
+
+  // Triplets from n outer products of random sparse vectors, weights
+  // decaying geometrically from 1 to rcond.
+  struct Triplet {
+    int row, col;
+    double val;
+  };
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(na) * (nonzer + 1) * (nonzer + 1) / 4);
+
+  const double ratio = std::pow(kRcond, 1.0 / static_cast<double>(na));
+  double size = 1.0;
+
+  std::vector<double> v;
+  std::vector<int> iv;
+  std::vector<int> mark(static_cast<std::size_t>(na), 0);
+  std::vector<int> marked_list;
+
+  for (int iouter = 0; iouter < na; ++iouter) {
+    sprnvc(rng, na, nonzer, v, iv, mark, marked_list);
+    vecset(v, iv, iouter, 0.5);
+    for (std::size_t ivelt = 0; ivelt < iv.size(); ++ivelt) {
+      const int jcol = iv[ivelt];
+      const double scale = size * v[ivelt];
+      for (std::size_t ivelt1 = 0; ivelt1 < iv.size(); ++ivelt1) {
+        triplets.push_back({iv[ivelt1], jcol, v[ivelt1] * scale});
+      }
+    }
+    size *= ratio;
+  }
+  // Shifted identity: a(i,i) += rcond - shift.
+  for (int i = 0; i < na; ++i) triplets.push_back({i, i, kRcond - shift});
+
+  // Assemble CSR, summing duplicates (the reference's sparse()).
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& x, const Triplet& y) {
+    return x.row != y.row ? x.row < y.row : x.col < y.col;
+  });
+
+  CsrMatrix m;
+  m.n = na;
+  m.rowstr.assign(static_cast<std::size_t>(na) + 1, 0);
+  for (std::size_t t = 0; t < triplets.size();) {
+    std::size_t u = t;
+    double sum = 0.0;
+    while (u < triplets.size() && triplets[u].row == triplets[t].row &&
+           triplets[u].col == triplets[t].col) {
+      sum += triplets[u].val;
+      ++u;
+    }
+    m.colidx.push_back(triplets[t].col);
+    m.a.push_back(sum);
+    m.rowstr[static_cast<std::size_t>(triplets[t].row) + 1] = static_cast<int>(m.a.size());
+    t = u;
+  }
+  // Fill empty-row offsets.
+  for (std::size_t r = 1; r < m.rowstr.size(); ++r) {
+    m.rowstr[r] = std::max(m.rowstr[r], m.rowstr[r - 1]);
+  }
+  return m;
+}
+
+void spmv(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>& y,
+          ThreadPool& pool) {
+  pool.parallel_for(0, static_cast<std::size_t>(a.n), [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t row = b; row < e; ++row) {
+      double sum = 0.0;
+      for (int k = a.rowstr[row]; k < a.rowstr[row + 1]; ++k) {
+        sum += a.a[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)])];
+      }
+      y[row] = sum;
+    }
+  });
+}
+
+namespace {
+
+double dot(const std::vector<double>& x, const std::vector<double>& y, ThreadPool& pool) {
+  return pool.parallel_reduce(
+      0, x.size(), 0.0,
+      [&](std::size_t b, std::size_t e, unsigned) {
+        double s = 0.0;
+        for (std::size_t i = b; i < e; ++i) s += x[i] * y[i];
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+/// One NPB conj_grad call: approximately solve A z = x, return ||r||.
+double conj_grad(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>& z,
+                 ThreadPool& pool) {
+  const std::size_t n = x.size();
+  std::vector<double> r = x;
+  std::vector<double> p = r;
+  std::vector<double> q(n, 0.0);
+  std::fill(z.begin(), z.end(), 0.0);
+
+  double rho = dot(r, r, pool);
+  for (int it = 0; it < kCgIterations; ++it) {
+    spmv(a, p, q, pool);
+    const double alpha = rho / dot(p, q, pool);
+    const double rho0 = rho;
+    pool.parallel_for(0, n, [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t i = b; i < e; ++i) {
+        z[i] += alpha * p[i];
+        r[i] -= alpha * q[i];
+      }
+    });
+    rho = dot(r, r, pool);
+    const double beta = rho / rho0;
+    pool.parallel_for(0, n, [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t i = b; i < e; ++i) p[i] = r[i] + beta * p[i];
+    });
+  }
+  // Residual of the returned solution: ||x - A z||.
+  spmv(a, z, q, pool);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - q[i];
+    norm += d * d;
+  }
+  return std::sqrt(norm);
+}
+
+}  // namespace
+
+Result run_cg(Class cls, unsigned threads) {
+  const CgSpec spec = cg_spec(cls);
+  Result res;
+  res.benchmark = Benchmark::kCG;
+  res.cls = cls;
+
+  const CsrMatrix a = cg_makea(spec.na, spec.nonzer, spec.shift);
+  ThreadPool pool(threads);
+
+  const auto n = static_cast<std::size_t>(spec.na);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> z(n, 0.0);
+
+  // Untimed warm-up iteration, then reset x (as the reference does).
+  (void)conj_grad(a, x, z, pool);
+  std::fill(x.begin(), x.end(), 1.0);
+
+  WallTimer timer;
+  double zeta = 0.0;
+  double rnorm = 0.0;
+  for (int it = 0; it < spec.niter; ++it) {
+    rnorm = conj_grad(a, x, z, pool);
+    const double xz = dot(x, z, pool);
+    const double zz = dot(z, z, pool);
+    zeta = spec.shift + 1.0 / xz;
+    const double inv_norm = 1.0 / std::sqrt(zz);
+    for (std::size_t i = 0; i < n; ++i) x[i] = inv_norm * z[i];
+  }
+  res.seconds = timer.elapsed();
+  res.check_value = zeta;
+  res.verified = std::fabs(zeta - spec.ref_zeta) <= 1e-10 * std::fabs(spec.ref_zeta) + 1e-9;
+  res.detail = "zeta vs official NPB verification value (rnorm=" + std::to_string(rnorm) + ")";
+  const double flops_per_outer =
+      static_cast<double>(kCgIterations) * (2.0 * static_cast<double>(a.nnz()) + 10.0 * static_cast<double>(n));
+  res.mops = spec.niter * flops_per_outer / res.seconds / 1e6;
+  return res;
+}
+
+}  // namespace ookami::npb

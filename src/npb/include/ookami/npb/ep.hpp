@@ -1,0 +1,30 @@
+#pragma once
+// NPB EP (Embarrassingly Parallel) — faithful reimplementation.
+//
+// Generates 2^(M+1) uniform deviates with the NPB LCG, forms pairs,
+// accepts those inside the unit disc, converts them to Gaussian
+// deviates by the Marsaglia polar method, and accumulates the sums and
+// the ten concentric-square-annulus counts.  Stream partitioning across
+// threads uses the reference skip-ahead, so results are independent of
+// the thread count and bit-identical to the NPB C version — the
+// class S/W/A sums are checked against the official verification
+// values.
+
+#include "ookami/npb/npb.hpp"
+
+namespace ookami::npb {
+
+/// Gaussian-pair statistics produced by EP.
+struct EpOutput {
+  double sx = 0.0;                ///< sum of accepted X deviates
+  double sy = 0.0;                ///< sum of accepted Y deviates
+  double counts[10] = {0};       ///< annulus counts q[0..9]
+  double gc = 0.0;                ///< total accepted pairs
+};
+
+/// Run EP with `m_exponent` (pairs = 2^m): S=24, W=25, A=28, B=30, C=32.
+EpOutput ep_kernel(int m_exponent, unsigned threads);
+
+Result run_ep(Class cls, unsigned threads);
+
+}  // namespace ookami::npb

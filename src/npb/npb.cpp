@@ -1,0 +1,55 @@
+#include "ookami/npb/npb.hpp"
+
+#include <stdexcept>
+
+#include "ookami/npb/cg.hpp"
+#include "ookami/npb/ep.hpp"
+
+namespace ookami::npb {
+
+Result run_bt(Class cls, unsigned threads);
+Result run_sp(Class cls, unsigned threads);
+Result run_lu(Class cls, unsigned threads);
+Result run_ua(Class cls, unsigned threads);
+
+std::vector<Benchmark> all_benchmarks() {
+  return {Benchmark::kBT, Benchmark::kCG, Benchmark::kEP,
+          Benchmark::kLU, Benchmark::kSP, Benchmark::kUA};
+}
+
+std::string benchmark_name(Benchmark b) {
+  switch (b) {
+    case Benchmark::kBT: return "BT";
+    case Benchmark::kCG: return "CG";
+    case Benchmark::kEP: return "EP";
+    case Benchmark::kLU: return "LU";
+    case Benchmark::kSP: return "SP";
+    case Benchmark::kUA: return "UA";
+  }
+  throw std::logic_error("unknown benchmark");
+}
+
+std::string class_name(Class c) {
+  switch (c) {
+    case Class::kS: return "S";
+    case Class::kW: return "W";
+    case Class::kA: return "A";
+    case Class::kB: return "B";
+    case Class::kC: return "C";
+  }
+  throw std::logic_error("unknown class");
+}
+
+Result run(Benchmark b, Class cls, unsigned threads) {
+  switch (b) {
+    case Benchmark::kBT: return run_bt(cls, threads);
+    case Benchmark::kCG: return run_cg(cls, threads);
+    case Benchmark::kEP: return run_ep(cls, threads);
+    case Benchmark::kLU: return run_lu(cls, threads);
+    case Benchmark::kSP: return run_sp(cls, threads);
+    case Benchmark::kUA: return run_ua(cls, threads);
+  }
+  throw std::logic_error("unknown benchmark");
+}
+
+}  // namespace ookami::npb

@@ -1,0 +1,58 @@
+#include "ookami/npb/randdp.hpp"
+
+namespace ookami::npb {
+
+namespace {
+
+constexpr double kR23 = 0x1.0p-23;
+constexpr double kR46 = 0x1.0p-46;
+constexpr double kT23 = 0x1.0p+23;
+constexpr double kT46 = 0x1.0p+46;
+
+}  // namespace
+
+double randlc(double& x, double a) {
+  // Split a and x into 23-bit halves so all products are exact doubles.
+  const double t1a = kR23 * a;
+  const double a1 = static_cast<double>(static_cast<long long>(t1a));
+  const double a2 = a - kT23 * a1;
+
+  const double t1x = kR23 * x;
+  const double x1 = static_cast<double>(static_cast<long long>(t1x));
+  const double x2 = x - kT23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<long long>(kR23 * t1));
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<long long>(kR46 * t3));
+  x = t3 - kT46 * t4;
+  return kR46 * x;
+}
+
+double ipow46(double a, std::uint64_t exponent) {
+  if (exponent == 0) return 1.0;
+  double q = a;
+  double r = 1.0;
+  std::uint64_t n = exponent;
+  while (n > 1) {
+    if (n % 2 == 1) {
+      double dummy = r;
+      randlc(dummy, q);  // r = r*q mod 2^46, randlc computes the product
+      r = dummy;
+    }
+    double dummy = q;
+    randlc(dummy, q);  // q = q*q mod 2^46
+    q = dummy;
+    n /= 2;
+  }
+  double dummy = r;
+  randlc(dummy, q);
+  return dummy;
+}
+
+void vranlc(int n, double& x, double a, double* y) {
+  for (int i = 0; i < n; ++i) y[i] = randlc(x, a);
+}
+
+}  // namespace ookami::npb

@@ -1,0 +1,79 @@
+#include "ookami/perf/app_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ookami::perf {
+
+namespace {
+
+/// Effective node memory bandwidth (GB/s) at `threads` threads with a
+/// given page placement, assuming compact thread binding (threads fill
+/// NUMA domains in order, as SLURM core binding does on Ookami).
+double effective_seq_bw(const MachineModel& m, int threads, bool cmg0_placement) {
+  if (threads <= 1) return m.core_mem_bw_gbs;
+  const int active_domains =
+      std::min(m.numa.domains, (threads + m.numa.cores_per_domain - 1) / m.numa.cores_per_domain);
+  if (cmg0_placement && active_domains > 1) {
+    // All pages live on domain 0: its memory controller is the ceiling,
+    // and remote cores reach it across the on-chip network at a loss.
+    return m.numa.local_bw_gbs * 0.8;
+  }
+  const double domain_bw = m.numa.local_bw_gbs * static_cast<double>(active_domains);
+  const double thread_bw = m.core_mem_bw_gbs * static_cast<double>(threads);
+  return std::min(domain_bw * m.mem_contention_frac, thread_bw);
+}
+
+}  // namespace
+
+AppRunResult app_time(const MachineModel& m, const AppProfile& app, const CompilerEffects& cc,
+                      int threads, bool force_first_touch) {
+  AppRunResult r;
+  const double freq = m.clock_ghz(threads) * 1e9;
+
+  // --- compute component ---
+  const double vec_flops = app.flops * app.vec_fraction * cc.vec_quality;
+  const double scl_flops = app.flops - vec_flops;
+  const double vec_rate = freq * m.fma_pipes * 2.0 * m.lanes() * cc.vec_efficiency;
+  const double scl_rate = freq * m.scalar_ipc * cc.scalar_opt;
+  const double math_s = app.math_calls * cc.math_cycles_per_call / freq;
+  const double t1_compute = vec_flops / vec_rate + scl_flops / scl_rate + math_s;
+  const double t = static_cast<double>(std::max(threads, 1));
+  r.compute_s = t1_compute * (app.serial_fraction + (1.0 - app.serial_fraction) / t);
+
+  // --- memory component ---
+  const bool cmg0 = cc.placement_cmg0 && !force_first_touch;
+  const double bw_seq = effective_seq_bw(m, threads, cmg0);
+  // Latency-bound random traffic: each thread sustains only a fraction
+  // of its streaming bandwidth; extra threads hide latency.
+  const double bw_rand = std::min(
+      bw_seq, m.core_mem_bw_gbs * m.random_access_bw_frac * t);
+  const double raf = std::clamp(app.random_access_fraction, 0.0, 1.0);
+  const double bw_eff = 1.0 / ((1.0 - raf) / bw_seq + (raf > 0.0 ? raf / bw_rand : 0.0));
+  // Shared-cache contention: traffic grows toward the amplified value
+  // as the node fills up.
+  const double amp =
+      1.0 + (app.traffic_amplification - 1.0) *
+                (t - 1.0) / std::max(1.0, static_cast<double>(m.cores - 1));
+  r.memory_s = app.dram_bytes * amp / (bw_eff * 1e9);
+  r.bw_gbs = bw_eff;
+
+  // --- OpenMP runtime component ---
+  if (threads > 1) {
+    const double fork_us = m.omp_fork_join_us * cc.omp_overhead_factor *
+                           (0.3 + 0.7 * t / static_cast<double>(m.cores));
+    r.omp_s = app.parallel_regions * fork_us * 1e-6;
+  }
+
+  r.seconds = std::max(r.compute_s, r.memory_s) + r.omp_s;
+  return r;
+}
+
+double parallel_efficiency(const MachineModel& m, const AppProfile& app,
+                           const CompilerEffects& cc, int threads) {
+  const double t1 = app_time(m, app, cc, 1).seconds;
+  const double tt = app_time(m, app, cc, threads).seconds;
+  return t1 / (static_cast<double>(threads) * tt);
+}
+
+}  // namespace ookami::perf

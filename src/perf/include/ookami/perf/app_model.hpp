@@ -1,0 +1,66 @@
+#pragma once
+// Whole-application performance model (NPB Figures 3-6, LULESH Table II).
+//
+// An `AppProfile` captures the machine-independent execution
+// characteristics of a benchmark (total flops, DRAM traffic, math-
+// function calls, vectorizable fraction, randomness of the access
+// pattern, parallel-region count).  `CompilerEffects` captures what a
+// toolchain did to the code (vectorization quality, scalar codegen
+// quality, math library cost, OpenMP runtime overhead, default page
+// placement).  `app_time` prices the combination on a machine at a
+// given thread count with a roofline + Amdahl + NUMA-placement model.
+
+#include <string>
+
+#include "ookami/perf/machine.hpp"
+
+namespace ookami::perf {
+
+/// Machine- and compiler-independent application characteristics.
+struct AppProfile {
+  std::string name;
+  double flops = 0.0;              ///< total double-precision operations
+  double dram_bytes = 0.0;         ///< total main-memory traffic (ideal placement)
+  double math_calls = 0.0;         ///< exp/log/sqrt/pow evaluations
+  double vec_fraction = 0.0;       ///< fraction of flops in vectorizable loops
+  double serial_fraction = 0.0;    ///< Amdahl non-parallelizable fraction
+  double parallel_regions = 0.0;   ///< fork/join entries over the whole run
+  double random_access_fraction = 0.0;  ///< fraction of traffic that is pointer-chasing/gather
+  /// DRAM-traffic growth factor at full node relative to single core:
+  /// benchmarks with poor cache behaviour (the paper singles out SP)
+  /// thrash the shared per-CMG L2 when all cores run, re-fetching data
+  /// a single core kept resident.  1.0 = no amplification.
+  double traffic_amplification = 1.0;
+};
+
+/// What one toolchain's code generator and runtime did to the app.
+struct CompilerEffects {
+  std::string name;
+  double vec_quality = 1.0;        ///< fraction of vec_fraction actually vectorized
+  double vec_efficiency = 0.35;    ///< achieved fraction of SIMD peak in vector loops
+  double scalar_opt = 1.0;         ///< multiplier on the machine's scalar IPC
+  double math_cycles_per_call = 32.0;  ///< cycles per math-function evaluation
+  double omp_overhead_factor = 1.0;    ///< multiplier on fork/join cost
+  bool placement_cmg0 = false;     ///< all pages on NUMA domain 0 (Fujitsu default)
+};
+
+/// Decomposed model output.
+struct AppRunResult {
+  double seconds = 0.0;    ///< total predicted wall time
+  double compute_s = 0.0;  ///< issue-limited component
+  double memory_s = 0.0;   ///< bandwidth-limited component
+  double omp_s = 0.0;      ///< runtime fork/join component
+  double bw_gbs = 0.0;     ///< effective memory bandwidth used
+};
+
+/// Predict wall time of `app` compiled by `cc` on `m` with `threads`
+/// threads.  `force_first_touch` overrides cc.placement_cmg0 (the
+/// paper's "fujitsu-first-touch" configuration).
+AppRunResult app_time(const MachineModel& m, const AppProfile& app, const CompilerEffects& cc,
+                      int threads, bool force_first_touch = false);
+
+/// Parallel efficiency T1 / (t * Tt) under the same model.
+double parallel_efficiency(const MachineModel& m, const AppProfile& app,
+                           const CompilerEffects& cc, int threads);
+
+}  // namespace ookami::perf

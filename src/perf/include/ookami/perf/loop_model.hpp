@@ -1,0 +1,73 @@
+#pragma once
+// Cycle-level cost model for small vector loops (the Figure 1/2 engine).
+//
+// A `LoweredLoop` is the instruction-mix a particular toolchain emitted
+// for a kernel (built by ookami::toolchain::lower).  `cycles_per_elem`
+// prices it against a machine: issue-limited compute, blocking or
+// pipelined divide/sqrt, gather/scatter throughput with the A64FX
+// 128-byte pair-fusion window, and cache/memory bandwidth, combined
+// roofline-style.
+
+#include <cstddef>
+
+#include "ookami/perf/machine.hpp"
+
+namespace ookami::perf {
+
+/// Machine-independent description of the code a compiler generated for
+/// one loop iteration (one *element* of the output).
+struct LoweredLoop {
+  /// False if the compiler failed (or declined) to vectorize: all
+  /// instruction counts are then interpreted as scalar instructions.
+  bool vectorized = true;
+
+  /// FP instructions per element.  For vectorized code this is
+  /// (vector instructions per vector) / lanes, so it scales naturally
+  /// with SIMD width via the kernel lowering.
+  double fp_per_elem = 0.0;
+
+  /// Integer/control instructions per element (loop counter, pointer
+  /// increments, branch).  Mostly hidden behind FP work when vectorized.
+  double int_per_elem = 0.0;
+
+  /// Cycles of serial dependency latency per element that cannot overlap
+  /// (e.g. the naive Monte Carlo chain); 0 for data-parallel loops.
+  double serial_latency_per_elem = 0.0;
+
+  /// Vector divide / sqrt operations per element (1/lanes when the loop
+  /// body has one vector op). Priced with the machine's block costs.
+  double div_vec_per_elem = 0.0;
+  double sqrt_vec_per_elem = 0.0;
+
+  /// Gathered / scattered elements per element.
+  double gather_per_elem = 0.0;
+  double scatter_per_elem = 0.0;
+  /// True when indices stay inside aligned 128-byte windows (the
+  /// "short" gather/scatter tests).
+  bool windowed_128 = false;
+
+  /// Mask-governed stores per element (the "predicate" loop); charged
+  /// the machine's predicated-store penalty.
+  double predicated_stores_per_elem = 0.0;
+
+  /// Bytes moved to/from memory per element *beyond L1* (0 for the
+  /// L1-resident loop suite).
+  double mem_bytes_per_elem = 0.0;
+
+  /// Total working set, selects which cache level feeds the loads.
+  std::size_t working_set_bytes = 0;
+  /// Bytes loaded+stored per element (priced against cache bandwidth).
+  double cache_bytes_per_elem = 0.0;
+
+  /// True when the loop was unrolled (higher sustained issue).
+  bool unrolled = false;
+};
+
+/// Estimated cycles per element of `loop` on `m` (single core).
+double cycles_per_elem(const MachineModel& m, const LoweredLoop& loop);
+
+/// Estimated single-core wall time for n elements, using the machine's
+/// single-core (boost) clock.
+double loop_seconds(const MachineModel& m, const LoweredLoop& loop, std::size_t n);
+
+}  // namespace ookami::perf

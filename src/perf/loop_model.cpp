@@ -1,0 +1,75 @@
+#include "ookami/perf/loop_model.hpp"
+
+#include <algorithm>
+
+namespace ookami::perf {
+
+namespace {
+
+/// Cache-level load/store bandwidth (bytes/cycle) feeding a working set.
+double cache_bw_bytes_per_cyc(const MachineModel& m, std::size_t working_set) {
+  for (const auto& level : m.caches) {
+    if (static_cast<double>(working_set) <= level.bytes) return level.bw_bytes_per_cyc;
+  }
+  // Falls out of cache: single-core memory bandwidth converted to bytes/cycle.
+  return m.core_mem_bw_gbs / m.boost_ghz;
+}
+
+}  // namespace
+
+double cycles_per_elem(const MachineModel& m, const LoweredLoop& loop) {
+  const double lanes = loop.vectorized ? m.lanes() : 1.0;
+
+  // --- compute: instruction issue ---
+  double compute;
+  if (loop.vectorized) {
+    const double issue = loop.unrolled ? m.unrolled_fp_issue : m.sustained_fp_issue;
+    compute = loop.fp_per_elem / issue;
+    // Integer overhead of a vector loop is amortized over the vector and
+    // largely issues on the separate integer pipes; charge a quarter.
+    compute += loop.int_per_elem / (4.0 * m.scalar_ipc);
+  } else {
+    compute = (loop.fp_per_elem + loop.int_per_elem) / m.scalar_ipc;
+  }
+  compute += loop.serial_latency_per_elem;
+
+  if (loop.vectorized) compute += loop.predicated_stores_per_elem * m.predicated_store_cyc;
+
+  // --- blocking / low-throughput vector ops ---
+  compute += loop.div_vec_per_elem * m.fdiv_block_cyc;
+  compute += loop.sqrt_vec_per_elem * m.fsqrt_block_cyc;
+
+  // --- gather / scatter throughput ---
+  if (loop.gather_per_elem > 0.0) {
+    double rate = m.gather_elems_per_cyc;
+    if (!loop.vectorized) rate = m.scalar_ipc / 2.0;  // scalar indexed loads
+    if (loop.vectorized && loop.windowed_128 && m.gather_window_bytes >= 128.0) {
+      rate *= 1.0 + m.gather_fusion_eff;  // pair fusion (ideal 2x)
+    }
+    compute += loop.gather_per_elem / rate;
+  }
+  if (loop.scatter_per_elem > 0.0) {
+    double rate = m.scatter_elems_per_cyc;
+    if (rate <= 0.0 || !loop.vectorized) rate = m.scalar_ipc / 2.0;  // scalar stores
+    // No pair fusion for scatters, but A64FX's 256-byte L2 line keeps a
+    // windowed scatter's pair of 128-B windows in one line (paper §III).
+    if (loop.vectorized && loop.windowed_128 && m.cache_line_bytes >= 256.0) rate *= 1.25;
+    compute += loop.scatter_per_elem / rate;
+  }
+
+  // --- memory roofline ---
+  const double cache_cyc =
+      loop.cache_bytes_per_elem / cache_bw_bytes_per_cyc(m, loop.working_set_bytes);
+  const double mem_cyc =
+      loop.mem_bytes_per_elem > 0.0 ? loop.mem_bytes_per_elem / (m.core_mem_bw_gbs / m.boost_ghz)
+                                    : 0.0;
+
+  (void)lanes;
+  return std::max({compute, cache_cyc, mem_cyc});
+}
+
+double loop_seconds(const MachineModel& m, const LoweredLoop& loop, std::size_t n) {
+  return static_cast<double>(n) * cycles_per_elem(m, loop) / (m.boost_ghz * 1e9);
+}
+
+}  // namespace ookami::perf

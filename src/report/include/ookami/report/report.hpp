@@ -1,0 +1,38 @@
+#pragma once
+// Paper-versus-measured reporting for the bench harnesses.
+//
+// Every bench binary prints its figure/table as text and, where the
+// paper states a number, a side-by-side "paper vs this-kit" comparison
+// with a shape check (is the ordering preserved? is the ratio within a
+// stated factor?).  EXPERIMENTS.md is generated from the same data.
+
+#include <string>
+#include <vector>
+
+#include "ookami/common/table.hpp"
+
+namespace ookami::report {
+
+/// One quantitative claim of the paper and our measured counterpart.
+struct ClaimCheck {
+  std::string id;          ///< e.g. "fig2/exp/fujitsu"
+  std::string description;
+  double paper_value;
+  double measured_value;
+  double tolerance_factor; ///< pass if within this multiplicative factor
+
+  [[nodiscard]] bool pass() const;
+  [[nodiscard]] double ratio() const;
+};
+
+/// Render a list of claim checks as a table with PASS/FAIL markers.
+std::string render_claims(const std::string& title, const std::vector<ClaimCheck>& claims);
+
+/// Count of failed claims (bench binaries exit nonzero on failure so CI
+/// catches shape regressions).
+int failed(const std::vector<ClaimCheck>& claims);
+
+/// Standard output location for bench CSV artifacts.
+std::string artifact_path(const std::string& name);
+
+}  // namespace ookami::report

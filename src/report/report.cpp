@@ -1,0 +1,35 @@
+#include "ookami/report/report.hpp"
+
+#include <cmath>
+
+namespace ookami::report {
+
+bool ClaimCheck::pass() const {
+  const double r = ratio();
+  return r <= tolerance_factor && r >= 1.0 / tolerance_factor;
+}
+
+double ClaimCheck::ratio() const {
+  if (paper_value == 0.0) return measured_value == 0.0 ? 1.0 : HUGE_VAL;
+  return measured_value / paper_value;
+}
+
+std::string render_claims(const std::string& title, const std::vector<ClaimCheck>& claims) {
+  TextTable t({"claim", "description", "paper", "measured", "ratio", "tol", "status"});
+  for (const auto& c : claims) {
+    t.add_row({c.id, c.description, TextTable::num(c.paper_value, 3),
+               TextTable::num(c.measured_value, 3), TextTable::num(c.ratio(), 2),
+               TextTable::num(c.tolerance_factor, 1), c.pass() ? "PASS" : "FAIL"});
+  }
+  return title + " — paper vs this kit\n" + t.str();
+}
+
+int failed(const std::vector<ClaimCheck>& claims) {
+  int n = 0;
+  for (const auto& c : claims) n += c.pass() ? 0 : 1;
+  return n;
+}
+
+std::string artifact_path(const std::string& name) { return "bench_results/" + name; }
+
+}  // namespace ookami::report

@@ -1,0 +1,51 @@
+#pragma once
+// Bit-exact emulation of the SVE FEXPA (floating-point exponential
+// accelerator) instruction for float64, plus the FRECPE / FRSQRTE
+// low-precision estimate instructions and their Newton-step companions
+// FRECPS / FRSQRTS.
+//
+// FEXPA (double precision) interprets each 64-bit source lane as:
+//     bits [5:0]   index i into a 64-entry table of the fraction bits
+//                  of 2^(i/64)
+//     bits [16:6]  an 11-bit biased exponent e
+// and produces the double whose exponent field is e and whose fraction
+// field is table[i] — i.e. 2^(e-1023) * 2^(i/64) for in-range inputs.
+// This turns the scaling step of exp(x) = 2^(m + i/64) * exp(r) into a
+// single instruction and is the key to the paper's 2-cycles-per-element
+// exponential (Section IV).
+
+#include <cstdint>
+
+#include "ookami/sve/sve.hpp"
+
+namespace ookami::sve {
+
+/// The 64-entry FEXPA coefficient table: fraction bits (low 52 bits) of
+/// the correctly rounded double 2^(i/64), i = 0..63.
+const std::uint64_t* fexpa_table();
+
+/// FEXPA on one 64-bit lane value.
+std::uint64_t fexpa_scalar(std::uint64_t bits);
+
+/// FEXPA on a vector of 64-bit lane values.
+Vec fexpa(const VecU64& u);
+
+// ---------------------------------------------------------------------------
+// Reciprocal / reciprocal-sqrt estimate instructions
+// ---------------------------------------------------------------------------
+
+/// FRECPE: ~8-bit reciprocal estimate of each lane (the starting point
+/// of the Newton division the Fujitsu/Cray compilers emit instead of the
+/// blocking FDIV).
+Vec frecpe(const Vec& a);
+
+/// FRECPS: Newton step coefficient 2 - a*b (fused).
+Vec frecps(const Vec& a, const Vec& b);
+
+/// FRSQRTE: ~8-bit reciprocal square-root estimate of each lane.
+Vec frsqrte(const Vec& a);
+
+/// FRSQRTS: Newton step coefficient (3 - a*b) / 2 (fused).
+Vec frsqrts(const Vec& a, const Vec& b);
+
+}  // namespace ookami::sve

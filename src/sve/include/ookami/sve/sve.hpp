@@ -1,0 +1,391 @@
+#pragma once
+// Portable emulation of the ARM Scalable Vector Extension (SVE) subset
+// the paper's kernels use.
+//
+// The paper's hand-tuned exp() (Section IV) is written with ACLE SVE
+// intrinsics and runs only on SVE silicon.  This layer reproduces the
+// same programming model — 512-bit vectors (8 doubles, A64FX vector
+// length), per-lane predication, WHILELT loop control, gather/scatter,
+// and the FEXPA instruction with bit-exact semantics — as plain C++20 so
+// the *same algorithmic code path* executes and can be tested anywhere.
+// Naming follows ACLE loosely (ld1/st1/whilelt/sel/fexpa) so the code
+// reads like the SVE original.
+//
+// Semantics notes:
+//  * All arithmetic ops take an explicit governing predicate, like the
+//    _m (merging) forms in ACLE: inactive lanes keep the value of the
+//    first source operand.  Unpredicated operator overloads are provided
+//    for full-vector math (equivalent to ptrue governing).
+//  * fma(pg, a, b, c) computes a*b + c with a single rounding per lane
+//    (std::fma), matching SVE FMLA behaviour.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+
+namespace ookami::sve {
+
+/// Lanes per vector for doubles: A64FX implements 512-bit SVE.
+inline constexpr int kLanes = 8;
+
+struct VecU64;
+struct VecS64;
+
+/// Per-lane boolean governing predicate (SVE P register).
+struct Pred {
+  std::array<bool, kLanes> b{};
+
+  [[nodiscard]] bool any() const {
+    for (bool x : b)
+      if (x) return true;
+    return false;
+  }
+  [[nodiscard]] bool all() const {
+    for (bool x : b)
+      if (!x) return false;
+    return true;
+  }
+  [[nodiscard]] int count() const {
+    int n = 0;
+    for (bool x : b) n += x ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] bool operator[](int i) const { return b[static_cast<std::size_t>(i)]; }
+
+  friend Pred operator&(const Pred& x, const Pred& y) {
+    Pred r;
+    for (int i = 0; i < kLanes; ++i) r.b[i] = x.b[i] && y.b[i];
+    return r;
+  }
+  friend Pred operator|(const Pred& x, const Pred& y) {
+    Pred r;
+    for (int i = 0; i < kLanes; ++i) r.b[i] = x.b[i] || y.b[i];
+    return r;
+  }
+  friend Pred operator!(const Pred& x) {
+    Pred r;
+    for (int i = 0; i < kLanes; ++i) r.b[i] = !x.b[i];
+    return r;
+  }
+  friend bool operator==(const Pred& x, const Pred& y) { return x.b == y.b; }
+};
+
+/// All-true predicate (PTRUE).
+inline Pred ptrue() {
+  Pred p;
+  p.b.fill(true);
+  return p;
+}
+
+/// All-false predicate (PFALSE).
+inline Pred pfalse() { return Pred{}; }
+
+/// WHILELT: lanes [0, n-i) active — the SVE vector-length-agnostic loop
+/// control.  `while (whilelt(i, n).any())` iterates a predicated loop.
+inline Pred whilelt(std::size_t i, std::size_t n) {
+  Pred p;
+  for (int l = 0; l < kLanes; ++l) p.b[l] = i + static_cast<std::size_t>(l) < n;
+  return p;
+}
+
+/// Vector of 8 doubles (SVE Z register viewed as float64x8).
+struct Vec {
+  std::array<double, kLanes> v{};
+
+  Vec() = default;
+  explicit Vec(double broadcast) { v.fill(broadcast); }
+
+  [[nodiscard]] double operator[](int i) const { return v[static_cast<std::size_t>(i)]; }
+  double& operator[](int i) { return v[static_cast<std::size_t>(i)]; }
+
+  // Unpredicated (ptrue-governed) element-wise operators.
+  friend Vec operator+(const Vec& a, const Vec& b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend Vec operator-(const Vec& a, const Vec& b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  friend Vec operator*(const Vec& a, const Vec& b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  friend Vec operator/(const Vec& a, const Vec& b) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] / b.v[i];
+    return r;
+  }
+  friend Vec operator-(const Vec& a) {
+    Vec r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = -a.v[i];
+    return r;
+  }
+};
+
+/// Broadcast (DUP).
+inline Vec dup(double x) { return Vec(x); }
+
+/// Vector of 8 unsigned 64-bit lanes.
+struct VecU64 {
+  std::array<std::uint64_t, kLanes> v{};
+
+  VecU64() = default;
+  explicit VecU64(std::uint64_t broadcast) { v.fill(broadcast); }
+
+  [[nodiscard]] std::uint64_t operator[](int i) const { return v[static_cast<std::size_t>(i)]; }
+  std::uint64_t& operator[](int i) { return v[static_cast<std::size_t>(i)]; }
+
+  friend VecU64 operator+(const VecU64& a, const VecU64& b) {
+    VecU64 r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend VecU64 operator&(const VecU64& a, const VecU64& b) {
+    VecU64 r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] & b.v[i];
+    return r;
+  }
+  friend VecU64 operator|(const VecU64& a, const VecU64& b) {
+    VecU64 r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] | b.v[i];
+    return r;
+  }
+  friend VecU64 operator<<(const VecU64& a, int s) {
+    VecU64 r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] << s;
+    return r;
+  }
+  friend VecU64 operator>>(const VecU64& a, int s) {
+    VecU64 r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] >> s;
+    return r;
+  }
+};
+
+/// Vector of 8 signed 64-bit lanes.
+struct VecS64 {
+  std::array<std::int64_t, kLanes> v{};
+
+  VecS64() = default;
+  explicit VecS64(std::int64_t broadcast) { v.fill(broadcast); }
+
+  [[nodiscard]] std::int64_t operator[](int i) const { return v[static_cast<std::size_t>(i)]; }
+  std::int64_t& operator[](int i) { return v[static_cast<std::size_t>(i)]; }
+
+  friend VecS64 operator+(const VecS64& a, const VecS64& b) {
+    VecS64 r;
+    for (int i = 0; i < kLanes; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Loads and stores
+// ---------------------------------------------------------------------------
+
+/// LD1D: contiguous predicated load; inactive lanes are zero.
+inline Vec ld1(const Pred& pg, const double* p) {
+  Vec r;
+  for (int i = 0; i < kLanes; ++i) r.v[i] = pg.b[i] ? p[i] : 0.0;
+  return r;
+}
+
+/// ST1D: contiguous predicated store.
+inline void st1(const Pred& pg, double* p, const Vec& x) {
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) p[i] = x.v[i];
+}
+
+/// LD1D (gather, 32-bit unsigned indices scaled by element size).
+inline Vec gather(const Pred& pg, const double* base, const std::uint32_t* idx) {
+  Vec r;
+  for (int i = 0; i < kLanes; ++i) r.v[i] = pg.b[i] ? base[idx[i]] : 0.0;
+  return r;
+}
+
+/// ST1D (scatter).  Duplicate active indices store in lane order
+/// (highest lane wins), matching SVE's defined scatter ordering.
+inline void scatter(const Pred& pg, double* base, const std::uint32_t* idx, const Vec& x) {
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) base[idx[i]] = x.v[i];
+}
+
+// ---------------------------------------------------------------------------
+// Predicated arithmetic (merging forms: inactive lanes keep `a`)
+// ---------------------------------------------------------------------------
+
+inline Vec add(const Pred& pg, const Vec& a, const Vec& b) {
+  Vec r = a;
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+inline Vec sub(const Pred& pg, const Vec& a, const Vec& b) {
+  Vec r = a;
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) r.v[i] = a.v[i] - b.v[i];
+  return r;
+}
+inline Vec mul(const Pred& pg, const Vec& a, const Vec& b) {
+  Vec r = a;
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) r.v[i] = a.v[i] * b.v[i];
+  return r;
+}
+
+/// FMLA-style fused multiply-add: a*b + c, one rounding.
+inline Vec fma(const Pred& pg, const Vec& a, const Vec& b, const Vec& c) {
+  Vec r = c;
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) r.v[i] = std::fma(a.v[i], b.v[i], c.v[i]);
+  return r;
+}
+
+/// Unpredicated fused multiply-add: a*b + c.
+inline Vec fma(const Vec& a, const Vec& b, const Vec& c) {
+  Vec r;
+  for (int i = 0; i < kLanes; ++i) r.v[i] = std::fma(a.v[i], b.v[i], c.v[i]);
+  return r;
+}
+
+/// SEL: per-lane select, active lanes take `a`, inactive take `b`.
+inline Vec sel(const Pred& pg, const Vec& a, const Vec& b) {
+  Vec r;
+  for (int i = 0; i < kLanes; ++i) r.v[i] = pg.b[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons (produce predicates, like FCMxx)
+// ---------------------------------------------------------------------------
+
+inline Pred cmpgt(const Pred& pg, const Vec& a, const Vec& b) {
+  Pred r;
+  for (int i = 0; i < kLanes; ++i) r.b[i] = pg.b[i] && a.v[i] > b.v[i];
+  return r;
+}
+inline Pred cmpge(const Pred& pg, const Vec& a, const Vec& b) {
+  Pred r;
+  for (int i = 0; i < kLanes; ++i) r.b[i] = pg.b[i] && a.v[i] >= b.v[i];
+  return r;
+}
+inline Pred cmplt(const Pred& pg, const Vec& a, const Vec& b) {
+  Pred r;
+  for (int i = 0; i < kLanes; ++i) r.b[i] = pg.b[i] && a.v[i] < b.v[i];
+  return r;
+}
+inline Pred cmple(const Pred& pg, const Vec& a, const Vec& b) {
+  Pred r;
+  for (int i = 0; i < kLanes; ++i) r.b[i] = pg.b[i] && a.v[i] <= b.v[i];
+  return r;
+}
+/// True on lanes where `a` is NaN (unordered self-compare).
+inline Pred cmpuo(const Pred& pg, const Vec& a) {
+  Pred r;
+  for (int i = 0; i < kLanes; ++i) r.b[i] = pg.b[i] && std::isnan(a.v[i]);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Rounding, conversion, bit reinterpretation
+// ---------------------------------------------------------------------------
+
+/// FRINTN: round to nearest, ties to even.
+inline Vec frintn(const Vec& a) {
+  Vec r;
+  for (int i = 0; i < kLanes; ++i) r.v[i] = std::nearbyint(a.v[i]);
+  return r;
+}
+
+/// FCVTZS: double -> signed 64-bit, truncating toward zero.  Saturates
+/// on overflow and maps NaN to 0, matching the hardware instruction
+/// (a plain C++ cast would be undefined behaviour for those inputs).
+inline VecS64 fcvtzs(const Vec& a) {
+  VecS64 r;
+  for (int i = 0; i < kLanes; ++i) {
+    const double x = a.v[i];
+    if (std::isnan(x)) {
+      r.v[i] = 0;
+    } else if (x >= 0x1.0p63) {
+      r.v[i] = std::numeric_limits<std::int64_t>::max();
+    } else if (x < -0x1.0p63) {
+      r.v[i] = std::numeric_limits<std::int64_t>::min();
+    } else {
+      r.v[i] = static_cast<std::int64_t>(x);
+    }
+  }
+  return r;
+}
+
+/// SCVTF: signed 64-bit -> double.
+inline Vec scvtf(const VecS64& a) {
+  Vec r;
+  for (int i = 0; i < kLanes; ++i) r.v[i] = static_cast<double>(a.v[i]);
+  return r;
+}
+
+/// Reinterpret double lanes as uint64 bit patterns.
+inline VecU64 bitcast_u64(const Vec& a) {
+  VecU64 r;
+  std::memcpy(r.v.data(), a.v.data(), sizeof(r.v));
+  return r;
+}
+
+/// Reinterpret uint64 lanes as double bit patterns.
+inline Vec bitcast_f64(const VecU64& a) {
+  Vec r;
+  std::memcpy(r.v.data(), a.v.data(), sizeof(r.v));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Horizontal reductions
+// ---------------------------------------------------------------------------
+
+/// FADDV: sum of active lanes (strict lane order, like the A64FX
+/// implementation's sequential reduction tree result for doubles).
+inline double reduce_add(const Pred& pg, const Vec& a) {
+  double s = 0.0;
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) s += a.v[i];
+  return s;
+}
+
+/// FMAXV over active lanes; -inf if none active.
+inline double reduce_max(const Pred& pg, const Vec& a) {
+  double m = -HUGE_VAL;
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) m = std::max(m, a.v[i]);
+  return m;
+}
+
+/// FMINV over active lanes; +inf if none active.
+inline double reduce_min(const Pred& pg, const Vec& a) {
+  double m = HUGE_VAL;
+  for (int i = 0; i < kLanes; ++i)
+    if (pg.b[i]) m = std::min(m, a.v[i]);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Convenience span helpers (building block for the loops/ test suite)
+// ---------------------------------------------------------------------------
+
+/// Load a full-or-tail vector at position i of an n-element array.
+inline Vec load_tail(std::span<const double> x, std::size_t i) {
+  return ld1(whilelt(i, x.size()), x.data() + i);
+}
+
+/// Store a full-or-tail vector at position i of an n-element array.
+inline void store_tail(std::span<double> y, std::size_t i, const Vec& v) {
+  st1(whilelt(i, y.size()), y.data() + i, v);
+}
+
+}  // namespace ookami::sve

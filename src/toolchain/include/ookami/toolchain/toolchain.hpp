@@ -1,0 +1,83 @@
+#pragma once
+// Compiler-toolchain models.
+//
+// The paper's central observation is that on A64FX the *toolchain* — not
+// the source code — determines performance, through four discrete
+// choices this module encodes per compiler:
+//   1. whether a loop with a math call is vectorized at all (GNU: no
+//      vector math library exists for ARM+SVE, so exp/sin/pow loops
+//      stay scalar — the "30x slower" failure mode of the conclusion);
+//   2. which vector-math implementation is linked (Fujitsu's
+//      FEXPA-based kernels vs ported 13-term algorithms vs Sleef);
+//   3. whether 1/x and sqrt(x) compile to a Newton iteration or to the
+//      SVE FDIV/FSQRT instructions that block for 134 cycles on A64FX
+//      (GNU and AMD pick the blocking form; Arm 20 did for reciprocal);
+//   4. the OpenMP runtime's fork/join cost and default page placement
+//      (the Fujitsu runtime places all data on CMG 0 unless first-touch
+//      is requested — the Fig. 4 "fujitsu-first-touch" experiment).
+//
+// `lower()` turns a loops::KernelSpec into the perf::LoweredLoop a given
+// compiler would emit; `app_effects()` produces the whole-application
+// effects used by the NPB/LULESH models.
+
+#include <string>
+#include <vector>
+
+#include "ookami/loops/kernels.hpp"
+#include "ookami/perf/app_model.hpp"
+#include "ookami/perf/loop_model.hpp"
+
+namespace ookami::toolchain {
+
+enum class Toolchain { kFujitsu, kCray, kArm21, kArm20, kGnu, kAmd, kIntel };
+
+/// The toolchains plotted on the A64FX side of Figures 1-4.
+std::vector<Toolchain> a64fx_toolchains();
+
+/// How 1/x and sqrt(x) are compiled.
+enum class DivSqrtCodegen { kNewton, kBlockingInstr };
+
+/// Instruction-level lowering of one math function by one library.
+struct MathLowering {
+  bool vectorized = true;        ///< false => scalar libm call per element
+  double fp_per_vector = 0.0;    ///< vector FP instructions per full vector
+  double scalar_fp_per_call = 0.0;  ///< scalar instructions when !vectorized
+  double div_vec_per_vector = 0.0;  ///< blocking divides per vector
+  double sqrt_vec_per_vector = 0.0; ///< blocking sqrts per vector
+};
+
+/// Full codegen/runtime model of one toolchain.
+struct CodegenPolicy {
+  Toolchain id;
+  std::string name;     ///< figure label ("fujitsu", "cray", ...)
+  std::string version;  ///< Table I version string
+  std::string flags;    ///< Table I flags string
+
+  bool has_vector_math = true;       ///< GNU on ARM+SVE: false
+  DivSqrtCodegen recip = DivSqrtCodegen::kNewton;
+  DivSqrtCodegen sqrt = DivSqrtCodegen::kNewton;
+
+  /// Multiplier on the FP instruction count of simple non-math loops
+  /// (codegen tightness: address arithmetic, missed fusions, ...).
+  double loop_overhead = 1.0;
+
+  /// Whole-application effects (Fig. 3-6, Table II).
+  perf::CompilerEffects app;
+
+  /// Math lowering per function.
+  [[nodiscard]] MathLowering math(loops::MathFn fn) const;
+};
+
+/// The policy model for `tc`.
+const CodegenPolicy& policy(Toolchain tc);
+
+/// What `tc`'s compiler emits for `spec` on a machine with `m.lanes()`
+/// wide vectors.
+perf::LoweredLoop lower(const loops::KernelSpec& spec, const CodegenPolicy& tc,
+                        const perf::MachineModel& m);
+
+/// Estimated single-core cycles/element of kernel `kind` compiled by
+/// `tc` for machine `m` (the Fig. 1/2 quantity before normalization).
+double kernel_cycles_per_elem(loops::LoopKind kind, Toolchain tc, const perf::MachineModel& m);
+
+}  // namespace ookami::toolchain

@@ -1,0 +1,231 @@
+#include "ookami/toolchain/toolchain.hpp"
+
+#include <stdexcept>
+
+namespace ookami::toolchain {
+
+using loops::MathFn;
+
+namespace {
+
+// Vector FP instruction counts per full vector for each (library,
+// function) pair.  Anchored to the paper's cycle measurements through
+// cycles/elem = instrs / (lanes * sustained_issue):
+//   Fujitsu exp: 15 instr -> 2.1 cyc/elem (paper §IV measures both);
+//   Cray exp 4.2, Arm 6, Intel-on-SKL 1.6 cyc/elem give the others.
+struct MathTable {
+  double exp, sin, pow, recip_newton, sqrt_newton;
+};
+
+constexpr MathTable kFujitsuMath{15.0, 20.0, 34.0, 9.0, 12.0};
+constexpr MathTable kCrayMath{30.0, 36.0, 64.0, 10.0, 13.0};
+constexpr MathTable kArmMath{45.0, 50.0, 90.0, 11.0, 14.0};
+// AMD's library routes through Sleef; pow is catastrophically slow
+// (paper: 10x Fujitsu) and sqrt uses the blocking FSQRT.
+constexpr MathTable kAmdMath{40.0, 45.0, 300.0, 11.0, 14.0};
+constexpr MathTable kIntelMath{12.0, 14.0, 26.0, 9.0, 11.0};
+// GNU scalar libm: instruction counts per *call* (scalar).
+constexpr MathTable kGnuScalarMath{28.0, 33.0, 60.0, 0.0, 0.0};
+
+CodegenPolicy make_fujitsu() {
+  CodegenPolicy p;
+  p.id = Toolchain::kFujitsu;
+  p.name = "fujitsu";
+  p.version = "1.0.20";
+  p.flags = "-Kfast -KSVE -Koptmsg=2";
+  p.loop_overhead = 1.0;
+  p.app = {"fujitsu", 1.00, 0.38, 0.90, 25.0, 1.2, /*placement_cmg0=*/true};
+  return p;
+}
+
+CodegenPolicy make_cray() {
+  CodegenPolicy p;
+  p.id = Toolchain::kCray;
+  p.name = "cray";
+  p.version = "10.0.2";
+  p.flags = "-O3 -h aggress,flex_mp=tolerant,msgs,negmsgs,vector3,omp";
+  p.loop_overhead = 1.2;
+  p.app = {"cray", 0.95, 0.36, 0.93, 35.0, 1.3, false};
+  return p;
+}
+
+CodegenPolicy make_arm21() {
+  CodegenPolicy p;
+  p.id = Toolchain::kArm21;
+  p.name = "arm";
+  p.version = "21";
+  p.flags = "-std=c++17 -Ofast -ffp-contract=fast -ffast-math -march=armv8.2-a+sve "
+            "-mcpu=a64fx -armpl -fopenmp";
+  p.loop_overhead = 1.7;
+  p.sqrt = DivSqrtCodegen::kBlockingInstr;  // "hope ... fixed in an upcoming release"
+  p.app = {"arm", 0.90, 0.34, 0.88, 45.0, 6.0, false};
+  return p;
+}
+
+CodegenPolicy make_arm20() {
+  CodegenPolicy p = make_arm21();
+  p.id = Toolchain::kArm20;
+  p.name = "arm-20";
+  p.version = "20";
+  p.recip = DivSqrtCodegen::kBlockingInstr;  // the v20 reciprocal regression
+  return p;
+}
+
+CodegenPolicy make_gnu() {
+  CodegenPolicy p;
+  p.id = Toolchain::kGnu;
+  p.name = "gnu";
+  p.version = "11.1.0";
+  p.flags = "-Ofast -ffast-math -mtune=a64fx -mcpu=a64fx -march=armv8.2-a+sve -fopenmp";
+  p.loop_overhead = 1.5;
+  p.has_vector_math = false;  // no SVE vector math library in glibc
+  p.recip = DivSqrtCodegen::kBlockingInstr;
+  p.sqrt = DivSqrtCodegen::kBlockingInstr;
+  p.app = {"gcc", 0.95, 0.40, 1.00, 75.0, 1.0, false};
+  return p;
+}
+
+CodegenPolicy make_amd() {
+  CodegenPolicy p;
+  p.id = Toolchain::kAmd;
+  p.name = "amd";
+  p.version = "aocc";
+  p.flags = "(math-library comparison only)";
+  p.loop_overhead = 1.6;
+  p.sqrt = DivSqrtCodegen::kBlockingInstr;
+  p.app = {"amd", 0.90, 0.33, 0.90, 50.0, 2.0, false};
+  return p;
+}
+
+CodegenPolicy make_intel() {
+  CodegenPolicy p;
+  p.id = Toolchain::kIntel;
+  p.name = "intel";
+  p.version = "19.1.2.254";
+  p.flags = "-xHOST -O3 -ipo -no-prec-div -fp-model fast=2 -mkl=sequential "
+            "-qopt-zmm-usage=high -qopenmp";
+  p.loop_overhead = 1.0;
+  p.app = {"icc", 1.00, 0.40, 1.05, 12.0, 1.0, false};
+  return p;
+}
+
+}  // namespace
+
+std::vector<Toolchain> a64fx_toolchains() {
+  return {Toolchain::kFujitsu, Toolchain::kCray, Toolchain::kArm21, Toolchain::kGnu};
+}
+
+MathLowering CodegenPolicy::math(MathFn fn) const {
+  const MathTable& t = [this]() -> const MathTable& {
+    switch (id) {
+      case Toolchain::kFujitsu: return kFujitsuMath;
+      case Toolchain::kCray: return kCrayMath;
+      case Toolchain::kArm21:
+      case Toolchain::kArm20: return kArmMath;
+      case Toolchain::kGnu: return kGnuScalarMath;
+      case Toolchain::kAmd: return kAmdMath;
+      case Toolchain::kIntel: return kIntelMath;
+    }
+    throw std::logic_error("unknown toolchain");
+  }();
+
+  MathLowering ml;
+  switch (fn) {
+    case MathFn::kNone:
+      return ml;
+    case MathFn::kExp:
+    case MathFn::kSin:
+    case MathFn::kPow: {
+      const double count = fn == MathFn::kExp ? t.exp : fn == MathFn::kSin ? t.sin : t.pow;
+      if (!has_vector_math) {
+        ml.vectorized = false;
+        ml.scalar_fp_per_call = count;
+      } else {
+        ml.fp_per_vector = count;
+      }
+      return ml;
+    }
+    case MathFn::kRecip:
+      if (recip == DivSqrtCodegen::kNewton) {
+        ml.fp_per_vector = t.recip_newton;
+      } else {
+        ml.div_vec_per_vector = 1.0;  // one blocking FDIV per vector
+      }
+      return ml;
+    case MathFn::kSqrt:
+      if (sqrt == DivSqrtCodegen::kNewton) {
+        ml.fp_per_vector = t.sqrt_newton;
+      } else {
+        ml.sqrt_vec_per_vector = 1.0;  // one blocking FSQRT per vector
+      }
+      return ml;
+  }
+  throw std::logic_error("unknown math fn");
+}
+
+const CodegenPolicy& policy(Toolchain tc) {
+  static const CodegenPolicy fujitsu = make_fujitsu();
+  static const CodegenPolicy cray = make_cray();
+  static const CodegenPolicy arm21 = make_arm21();
+  static const CodegenPolicy arm20 = make_arm20();
+  static const CodegenPolicy gnu = make_gnu();
+  static const CodegenPolicy amd = make_amd();
+  static const CodegenPolicy intel = make_intel();
+  switch (tc) {
+    case Toolchain::kFujitsu: return fujitsu;
+    case Toolchain::kCray: return cray;
+    case Toolchain::kArm21: return arm21;
+    case Toolchain::kArm20: return arm20;
+    case Toolchain::kGnu: return gnu;
+    case Toolchain::kAmd: return amd;
+    case Toolchain::kIntel: return intel;
+  }
+  throw std::logic_error("unknown toolchain");
+}
+
+perf::LoweredLoop lower(const loops::KernelSpec& spec, const CodegenPolicy& tc,
+                        const perf::MachineModel& m) {
+  perf::LoweredLoop out;
+  const double lanes = m.lanes();
+
+  const MathLowering ml = tc.math(spec.math);
+  out.vectorized = ml.vectorized;
+
+  // Arithmetic instruction content per element.  Loads/stores issue on
+  // the separate load/store pipes and overlap FP work (the paper's §IV
+  // loop retires 15 FP instructions *plus* its loads/stores and loop
+  // control in ~16 cycles), so they are priced only through the cache
+  // bandwidth term below.
+  const double base_fp = (spec.fma + spec.mul + spec.add + spec.cmp) * tc.loop_overhead;
+
+  if (out.vectorized) {
+    // One vector instruction covers `lanes` source-level operations, so
+    // per-element instruction counts divide by the machine's lanes.
+    out.fp_per_elem = (base_fp + ml.fp_per_vector * spec.math_calls) / lanes;
+    out.int_per_elem = 3.0 / lanes;  // counter, pointer, branch per vector
+    out.div_vec_per_elem = ml.div_vec_per_vector * spec.math_calls / lanes;
+    out.sqrt_vec_per_elem = ml.sqrt_vec_per_vector * spec.math_calls / lanes;
+    out.predicated_stores_per_elem = spec.pred_stores;
+  } else {
+    out.fp_per_elem =
+        base_fp + spec.loads + spec.stores + ml.scalar_fp_per_call * spec.math_calls;
+    out.int_per_elem = 3.0;
+    // Scalar libm calls serialize on call/return and the internal
+    // dependency chain; charge a small latency component.
+    out.serial_latency_per_elem = spec.math_calls > 0.0 ? 2.0 : 0.0;
+  }
+
+  out.gather_per_elem = spec.gather;
+  out.scatter_per_elem = spec.scatter;
+  out.windowed_128 = spec.windowed_128;
+  out.working_set_bytes = loops::kL1Elems * sizeof(double) * 2;
+  out.cache_bytes_per_elem = (spec.loads + spec.stores + spec.gather + spec.scatter) * 8.0;
+  return out;
+}
+
+double kernel_cycles_per_elem(loops::LoopKind kind, Toolchain tc, const perf::MachineModel& m) {
+  const auto spec = loops::kernel_spec(kind);
+  return perf::cycles_per_elem(m, lower(spec, policy(tc), m));
+}
+
+}  // namespace ookami::toolchain

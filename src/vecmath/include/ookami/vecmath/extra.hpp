@@ -1,0 +1,37 @@
+#pragma once
+// Extensions beyond the paper's §IV kernel: the rest of a practical
+// vector math library built on the same FEXPA core and reduction
+// machinery (the "future work" direction the paper points at when it
+// hypothesizes the non-Fujitsu libraries simply haven't specialized
+// their algorithms to SVE).
+//
+//   exp2   — FEXPA is *natively* base-2: the reduction needs no log(2)
+//            constants at all, saving two FMAs over exp;
+//   expm1  — exp(x)-1 without cancellation near 0;
+//   log1p  — log(1+x) without cancellation near 0;
+//   tanh   — via expm1, saturating correctly for large |x|.
+
+#include <span>
+
+#include "ookami/sve/sve.hpp"
+
+namespace ookami::vecmath {
+
+/// 2^x per lane, full range (overflow -> inf, underflow -> 0, NaN).
+sve::Vec exp2(const sve::Vec& x);
+
+/// exp(x) - 1 per lane, accurate near 0 (no cancellation).
+sve::Vec expm1(const sve::Vec& x);
+
+/// log(1 + x) per lane, accurate near 0; domain x > -1.
+sve::Vec log1p(const sve::Vec& x);
+
+/// tanh(x) per lane; exact +-1 saturation for |x| > ~19.
+sve::Vec tanh(const sve::Vec& x);
+
+void exp2_array(std::span<const double> x, std::span<double> y);
+void expm1_array(std::span<const double> x, std::span<double> y);
+void log1p_array(std::span<const double> x, std::span<double> y);
+void tanh_array(std::span<const double> x, std::span<double> y);
+
+}  // namespace ookami::vecmath

@@ -1,0 +1,28 @@
+#pragma once
+// Vectorized natural logarithm and power function.
+//
+// pow rounds out the paper's Figure 2 math-function loop set.  It is
+// built as exp(y * log x) with the same FEXPA-backed exp core, which is
+// the structure a real SVE vector math library uses (and why the paper
+// observes pow tracking exp/log performance per toolchain).
+
+#include <span>
+
+#include "ookami/sve/sve.hpp"
+
+namespace ookami::vecmath {
+
+/// log(x) per lane: exponent/mantissa split, atanh-series on
+/// s = (m-1)/(m+1).  Domain: NaN for x < 0, -inf for x = 0, inf -> inf.
+sve::Vec log(const sve::Vec& x);
+
+/// pow(x, y) = exp(y log x) with the common special cases (x = 0,
+/// y = 0 -> 1, negative base -> NaN for non-integer y, integer-y sign
+/// handling).
+sve::Vec pow(const sve::Vec& x, const sve::Vec& y);
+
+/// Array drivers: y[i] = log(x[i]);  z[i] = pow(x[i], y[i]).
+void log_array(std::span<const double> x, std::span<double> y);
+void pow_array(std::span<const double> x, std::span<const double> y, std::span<double> z);
+
+}  // namespace ookami::vecmath

@@ -1,0 +1,47 @@
+#pragma once
+// Vector reciprocal, square root and reciprocal square root.
+//
+// The paper's Figure 2 discussion hinges on a codegen choice: the GNU
+// and AMD compilers emit the SVE FSQRT/FDIV instructions, which on
+// A64FX *block the pipeline for 134 cycles per 512-bit vector*, giving
+// a 20x slowdown on sqrt; the Fujitsu and Cray compilers instead emit a
+// Newton iteration seeded by the FRSQRTE/FRECPE 8-bit estimates, which
+// pipelines at a few cycles per element.  Both strategies are
+// implemented here; the toolchain layer picks one per compiler and the
+// perf model prices them.
+
+#include <span>
+
+#include "ookami/sve/sve.hpp"
+
+namespace ookami::vecmath {
+
+/// Division strategy a compiler may emit for 1/x and sqrt(x).
+enum class DivSqrtStrategy {
+  kNewton,    ///< FRECPE/FRSQRTE estimate + Newton steps (Fujitsu, Cray)
+  kBlocking,  ///< native FDIV/FSQRT: exact, but 134-cycle blocking on A64FX (GNU, AMD)
+};
+
+/// 1/x by 3 Newton steps from the 8-bit FRECPE estimate plus a final
+/// fused residual correction (faithfully rounded for normal inputs).
+sve::Vec recip_newton(const sve::Vec& x);
+
+/// 1/sqrt(x) by 3 Newton steps from FRSQRTE plus residual correction.
+sve::Vec rsqrt_newton(const sve::Vec& x);
+
+/// sqrt(x) = x * rsqrt(x) with a final Heron refinement step.
+sve::Vec sqrt_newton(const sve::Vec& x);
+
+/// Exact 1/x per lane (models the blocking FDIV path numerically).
+sve::Vec recip_exact(const sve::Vec& x);
+
+/// Exact sqrt per lane (models the blocking FSQRT path numerically).
+sve::Vec sqrt_exact(const sve::Vec& x);
+
+/// Array drivers: y[i] = 1/x[i] and y[i] = sqrt(x[i]).
+void recip_array(std::span<const double> x, std::span<double> y,
+                 DivSqrtStrategy strategy = DivSqrtStrategy::kNewton);
+void sqrt_array(std::span<const double> x, std::span<double> y,
+                DivSqrtStrategy strategy = DivSqrtStrategy::kNewton);
+
+}  // namespace ookami::vecmath

@@ -1,0 +1,25 @@
+#pragma once
+// Vectorized sine (and cosine) — one of the five math-function loops in
+// the paper's Figure 2 test suite.  Cody-Waite three-part pi/2 range
+// reduction to |r| <= pi/4 with per-lane quadrant selection done by
+// predicated selects (the branch-free structure a vector math library
+// must use).
+
+#include <span>
+
+#include "ookami/sve/sve.hpp"
+
+namespace ookami::vecmath {
+
+/// sin(x) per lane; accurate for |x| < ~2^30 (single-stage Cody-Waite
+/// reduction), NaN-propagating.
+sve::Vec sin(const sve::Vec& x);
+
+/// cos(x) per lane; same domain notes as sin().
+sve::Vec cos(const sve::Vec& x);
+
+/// Array drivers.
+void sin_array(std::span<const double> x, std::span<double> y);
+void cos_array(std::span<const double> x, std::span<double> y);
+
+}  // namespace ookami::vecmath

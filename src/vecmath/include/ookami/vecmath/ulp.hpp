@@ -1,0 +1,36 @@
+#pragma once
+// ULP (units in the last place) accuracy measurement.
+//
+// The paper quotes its exp kernel at "about 6 ulp" and notes vectorized
+// libraries commonly sit at 1-4 ulp while slow scalar libraries are
+// correctly rounded.  EXPERIMENTS.md records the measured ULP of every
+// vecmath function against a high-precision reference using these
+// helpers.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace ookami::vecmath {
+
+/// Distance in representable doubles between a and b (0 if bit-equal).
+/// NaN vs NaN counts as 0; NaN vs non-NaN as UINT64_MAX; crossing zero
+/// counts both sides.
+std::uint64_t ulp_distance(double a, double b);
+
+/// Result of sweeping a function against a reference over a domain.
+struct UlpReport {
+  double max_ulp = 0.0;       ///< worst observed ULP error
+  double mean_ulp = 0.0;      ///< average ULP error
+  double worst_input = 0.0;   ///< argument producing max_ulp
+  std::size_t samples = 0;
+};
+
+/// Sweep `fn` vs `ref` over `n` deterministic pseudo-random points in
+/// [lo, hi] plus the interval endpoints.
+UlpReport ulp_sweep(const std::function<double(double)>& fn,
+                    const std::function<double(double)>& ref, double lo, double hi,
+                    std::size_t n = 100000, std::uint64_t seed = 42);
+
+}  // namespace ookami::vecmath

@@ -1,0 +1,11 @@
+#pragma once
+// Umbrella header for the ookami vector math library (Section III/IV of
+// the paper: the "vector math library" whose absence in the GNU
+// toolchain on ARM+SVE drives a 30x kernel slowdown).
+
+#include "ookami/vecmath/exp.hpp"        // IWYU pragma: export
+#include "ookami/vecmath/extra.hpp"      // IWYU pragma: export
+#include "ookami/vecmath/log_pow.hpp"    // IWYU pragma: export
+#include "ookami/vecmath/recip_sqrt.hpp" // IWYU pragma: export
+#include "ookami/vecmath/trig.hpp"       // IWYU pragma: export
+#include "ookami/vecmath/ulp.hpp"        // IWYU pragma: export

@@ -1,0 +1,115 @@
+#include "ookami/vecmath/log_pow.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ookami/vecmath/exp.hpp"
+
+namespace ookami::vecmath {
+
+namespace {
+
+using sve::Vec;
+using sve::VecU64;
+
+constexpr double kLn2Hi = 0x1.62e42fefa0000p-1;
+constexpr double kLn2Lo = 0x1.cf79abc9e3b3ap-40;
+constexpr std::uint64_t kFractionMask = (1ull << 52) - 1;
+constexpr std::uint64_t kSqrt2Fraction = 0x6a09e667f3bcdull;  // fraction of sqrt(2)
+
+/// Split x = 2^k * m with m in [sqrt(2)/2, sqrt(2)); per-lane bit work.
+void split(const Vec& x, Vec& m, Vec& k) {
+  const VecU64 bits = sve::bitcast_u64(x);
+  VecU64 mbits;
+  for (int i = 0; i < sve::kLanes; ++i) {
+    const std::uint64_t b = bits[i];
+    auto e = static_cast<std::int64_t>((b >> 52) & 0x7ff) - 1023;
+    std::uint64_t frac = b & kFractionMask;
+    // Shift mantissas above sqrt(2) down one binade so m is centred on 1.
+    if (frac >= kSqrt2Fraction) e += 1;
+    const std::uint64_t biased =
+        frac >= kSqrt2Fraction ? (1022ull << 52) | frac : (1023ull << 52) | frac;
+    mbits[i] = biased;
+    k[i] = static_cast<double>(e);
+  }
+  m = sve::bitcast_f64(mbits);
+}
+
+}  // namespace
+
+Vec log(const Vec& x) {
+  Vec m, k;
+  split(x, m, k);
+
+  // log m = 2 atanh(s), s = (m-1)/(m+1), |s| <= (sqrt2-1)/(sqrt2+1) ~ 0.1716.
+  const Vec s = (m - Vec(1.0)) / (m + Vec(1.0));
+  const Vec z = s * s;
+  // Odd series: 2(s + s^3/3 + s^5/5 + ... + s^23/23).
+  Vec p(2.0 / 23.0);
+  for (int kk = 21; kk >= 3; kk -= 2) p = sve::fma(p, z, Vec(2.0 / kk));
+  const Vec logm = sve::fma(p * z, s, s + s);  // 2s + s^3 * p(z)
+
+  Vec out = sve::fma(k, Vec(kLn2Hi), logm);
+  out = sve::fma(k, Vec(kLn2Lo), out);
+
+  // Edge lanes.
+  for (int i = 0; i < sve::kLanes; ++i) {
+    const double xi = x[i];
+    if (std::isnan(xi) || xi < 0.0) {
+      out[i] = std::numeric_limits<double>::quiet_NaN();
+    } else if (xi == 0.0) {
+      out[i] = -HUGE_VAL;
+    } else if (std::isinf(xi)) {
+      out[i] = HUGE_VAL;
+    } else if (xi < std::numeric_limits<double>::min()) {
+      // Subnormal: rescale into the normal range and subtract 54 ln2.
+      const Vec t(xi * 0x1.0p54);
+      out[i] = log(t)[0] - 54.0 * 0x1.62e42fefa39efp-1;
+    }
+  }
+  return out;
+}
+
+Vec pow(const Vec& x, const Vec& y) {
+  // Main path: exp(y * log|x|); specials fixed per lane afterwards.
+  const Vec lx = log(x);
+  Vec out = exp(y * lx);
+  for (int i = 0; i < sve::kLanes; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    if (yi == 0.0) {
+      out[i] = 1.0;  // pow(anything, 0) = 1, including NaN base per IEEE
+    } else if (std::isnan(xi) || std::isnan(yi)) {
+      out[i] = std::numeric_limits<double>::quiet_NaN();
+    } else if (xi == 0.0) {
+      out[i] = yi > 0.0 ? 0.0 : HUGE_VAL;
+    } else if (xi < 0.0) {
+      const bool y_is_int = yi == std::nearbyint(yi) && std::abs(yi) < 0x1.0p53;
+      if (!y_is_int) {
+        out[i] = std::numeric_limits<double>::quiet_NaN();
+      } else {
+        const bool y_is_odd = std::fmod(std::abs(yi), 2.0) == 1.0;
+        Vec tmp(std::abs(xi));
+        const double mag = exp(y * log(tmp))[i];
+        out[i] = y_is_odd ? -mag : mag;
+      }
+    }
+  }
+  return out;
+}
+
+void log_array(std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
+    const sve::Pred pg = sve::whilelt(i, x.size());
+    sve::st1(pg, y.data() + i, log(sve::ld1(pg, x.data() + i)));
+  }
+}
+
+void pow_array(std::span<const double> x, std::span<const double> y, std::span<double> z) {
+  for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
+    const sve::Pred pg = sve::whilelt(i, x.size());
+    sve::st1(pg, z.data() + i, pow(sve::ld1(pg, x.data() + i), sve::ld1(pg, y.data() + i)));
+  }
+}
+
+}  // namespace ookami::vecmath

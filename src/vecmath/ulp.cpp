@@ -1,0 +1,58 @@
+#include "ookami/vecmath/ulp.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "ookami/common/rng.hpp"
+
+namespace ookami::vecmath {
+
+namespace {
+
+/// Map a double to a monotonically ordered signed integer line so that
+/// adjacent representable doubles differ by exactly 1.
+std::int64_t ordered(double x) {
+  std::int64_t i;
+  std::memcpy(&i, &x, sizeof(i));
+  return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+}
+
+}  // namespace
+
+std::uint64_t ulp_distance(double a, double b) {
+  const bool na = std::isnan(a), nb = std::isnan(b);
+  if (na && nb) return 0;
+  if (na || nb) return std::numeric_limits<std::uint64_t>::max();
+  if (a == b) return 0;  // also covers +0 vs -0
+  const std::int64_t ia = ordered(a), ib = ordered(b);
+  return ia > ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                 : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+UlpReport ulp_sweep(const std::function<double(double)>& fn,
+                    const std::function<double(double)>& ref, double lo, double hi,
+                    std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  UlpReport report;
+  double sum = 0.0;
+  auto probe = [&](double x) {
+    const double got = fn(x);
+    const double want = ref(x);
+    const auto d = ulp_distance(got, want);
+    const auto du = static_cast<double>(d);
+    if (du > report.max_ulp) {
+      report.max_ulp = du;
+      report.worst_input = x;
+    }
+    sum += du;
+    ++report.samples;
+  };
+  probe(lo);
+  probe(hi);
+  for (std::size_t i = 0; i < n; ++i) probe(rng.uniform(lo, hi));
+  report.mean_ulp = report.samples ? sum / static_cast<double>(report.samples) : 0.0;
+  return report;
+}
+
+}  // namespace ookami::vecmath

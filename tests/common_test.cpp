@@ -1,0 +1,203 @@
+// Unit tests for ookami/common: RNG, permutations, statistics, thread
+// pool, tables, CLI parsing, aligned allocation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "ookami/common/aligned.hpp"
+#include "ookami/common/cli.hpp"
+#include "ookami/common/rng.hpp"
+#include "ookami/common/stats.hpp"
+#include "ookami/common/table.hpp"
+#include "ookami/common/threadpool.hpp"
+#include "ookami/common/timer.hpp"
+
+namespace ookami {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedIsUnbiasedEnough) {
+  Xoshiro256 rng(7);
+  std::array<int, 10> hist{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hist[rng.bounded(10)] += 1;
+  for (int h : hist) {
+    EXPECT_NEAR(h, kDraws / 10, kDraws / 100);  // within 10% of uniform
+  }
+}
+
+TEST(Rng, CounterRngIsStateless) {
+  CounterRng a(5);
+  EXPECT_EQ(a.bits(123), CounterRng(5).bits(123));
+  EXPECT_NE(a.bits(123), a.bits(124));
+  EXPECT_NE(a.bits(123), CounterRng(6).bits(123));
+}
+
+TEST(Rng, RandomPermutationIsPermutation) {
+  Xoshiro256 rng(3);
+  const auto p = random_permutation(1000, rng);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+class WindowedPermutationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowedPermutationTest, StaysInWindow) {
+  const std::size_t window = GetParam();
+  Xoshiro256 rng(9);
+  const std::size_t n = 1000;
+  const auto p = windowed_permutation(n, window, rng);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), n);  // still a permutation
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(i / window, p[i] / window) << "index escaped its window at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowedPermutationTest,
+                         ::testing::Values(2, 4, 16, 64, 1000));
+
+TEST(Stats, SummaryMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944487, 1e-9);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Stats, MedianOdd) {
+  Summary s;
+  for (double v : {5.0, 1.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(ThreadPool, StaticChunksCoverRange) {
+  for (unsigned nthreads : {1u, 3u, 7u}) {
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (unsigned t = 0; t < nthreads; ++t) {
+      const auto [b, e] = ThreadPool::static_chunk(100, t, nthreads);
+      EXPECT_EQ(b, prev_end);
+      covered += e - b;
+      prev_end = e;
+    }
+    EXPECT_EQ(covered, 100u);
+  }
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelReduceSum) {
+  ThreadPool pool(4);
+  const double total = pool.parallel_reduce(
+      0, 1000, 0.0,
+      [](std::size_t b, std::size_t e, unsigned) {
+        double s = 0.0;
+        for (std::size_t i = b; i < e; ++i) s += static_cast<double>(i);
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(total, 999.0 * 1000.0 / 2.0);
+}
+
+TEST(ThreadPool, NestedParallelForDegradesToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t, std::size_t, unsigned) {
+    pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e, unsigned) {
+      count += static_cast<int>(e - b);
+    });
+  });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Table, AlignedRendering) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one-cell"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscaping) {
+  TextTable t({"a", "b"});
+  t.add_row({"x,y", "quo\"te"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Table, GroupedSeriesRoundTrip) {
+  GroupedSeries g("title", "loop");
+  g.set("simple", "fujitsu", 1.5);
+  g.set("simple", "gnu", 2.5);
+  g.set("gather", "fujitsu", 2.0);
+  EXPECT_DOUBLE_EQ(g.get("simple", "gnu"), 2.5);
+  EXPECT_TRUE(g.has("gather", "fujitsu"));
+  EXPECT_FALSE(g.has("gather", "gnu"));
+  EXPECT_THROW(g.get("nope", "gnu"), std::out_of_range);
+  EXPECT_NE(g.table().find("simple"), std::string::npos);
+}
+
+TEST(Cli, ParsesOptionsAndPositionals) {
+  const char* argv[] = {"prog", "pos1", "--n", "42", "--flag", "--x=3.5"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 3.5);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Aligned, VectorIsAligned) {
+  avec<double> v(100);
+  EXPECT_TRUE(is_aligned(v.data(), kDefaultAlignment));
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  const auto s = time_repeated([] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  }, 3);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_GT(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace ookami

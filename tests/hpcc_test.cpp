@@ -1,0 +1,184 @@
+// HPCC substrate tests: DGEMM tiers vs the naive oracle, HPL residuals,
+// FFT vs the direct DFT plus round-trip/Parseval properties, and the
+// Figure 8/9 projection tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ookami/common/rng.hpp"
+#include "ookami/hpcc/hpcc.hpp"
+
+namespace ookami::hpcc {
+namespace {
+
+// --- DGEMM -------------------------------------------------------------------
+
+class GemmTest : public ::testing::TestWithParam<std::tuple<GemmImpl, std::size_t>> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [impl, n] = GetParam();
+  EXPECT_LE(dgemm_check(impl, n, 3), 1e-11 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ImplsAndSizes, GemmTest,
+    ::testing::Combine(::testing::Values(GemmImpl::kBlocked, GemmImpl::kTuned),
+                       ::testing::Values(17, 64, 100, 192)));
+
+// --- HPL ---------------------------------------------------------------------
+
+class HplTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HplTest, ResidualPassesHplCheck) {
+  const HplResult r = hpl_solve(GetParam(), 32, 3);
+  EXPECT_TRUE(r.verified) << "scaled residual " << r.residual_norm;
+  EXPECT_LT(r.residual_norm, 16.0);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HplTest, ::testing::Values(33, 64, 150, 256));
+
+TEST(Hpl, BlockSizeDoesNotChangeSolution) {
+  const HplResult a = hpl_solve(100, 8, 2, 7);
+  const HplResult b = hpl_solve(100, 100, 2, 7);
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+}
+
+// --- FFT ---------------------------------------------------------------------
+
+TEST(Fft, MatchesDirectDft) {
+  ThreadPool pool(2);
+  Xoshiro256 rng(3);
+  std::vector<cplx> data(64);
+  for (auto& v : data) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const auto want = dft_reference(data, false);
+  auto got = data;
+  fft(got, false, pool);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-10) << i;
+  }
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, RoundTripIsIdentity) {
+  ThreadPool pool(3);
+  Xoshiro256 rng(5);
+  std::vector<cplx> data(GetParam());
+  for (auto& v : data) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  auto work = data;
+  fft(work, false, pool);
+  fft(work, true, pool);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) worst = std::max(worst, std::abs(work[i] - data[i]));
+  EXPECT_LT(worst, 1e-12 * std::log2(static_cast<double>(GetParam())) + 1e-13);
+}
+
+TEST_P(FftSizeTest, ParsevalHolds) {
+  ThreadPool pool(1);
+  Xoshiro256 rng(6);
+  std::vector<cplx> data(GetParam());
+  for (auto& v : data) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  double time_energy = 0.0;
+  for (const auto& v : data) time_energy += std::norm(v);
+  fft(data, false, pool);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(GetParam()) / time_energy, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, FftSizeTest, ::testing::Values(2, 8, 64, 1024, 16384));
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  ThreadPool pool(1);
+  std::vector<cplx> data(100);
+  EXPECT_THROW(fft(data, false, pool), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  ThreadPool pool(1);
+  std::vector<cplx> data(16, cplx(0.0, 0.0));
+  data[0] = 1.0;
+  fft(data, false, pool);
+  for (const auto& v : data) EXPECT_NEAR(std::abs(v - cplx(1.0, 0.0)), 0.0, 1e-14);
+}
+
+// --- Figure 8/9 projections ----------------------------------------------------
+
+TEST(Fig8, AnchoredFractions) {
+  const auto pts = fig8_dgemm_points();
+  auto find = [&](const std::string& sys, const std::string& lib) {
+    for (const auto& p : pts) {
+      if (p.system == sys && p.library == lib) return p;
+    }
+    ADD_FAILURE() << sys << "/" << lib << " missing";
+    return LibraryPoint{};
+  };
+  // Paper-anchored: A64FX DGEMM 71%, SKX 97%, KNL 11%, Fujitsu/OpenBLAS ~14x.
+  EXPECT_DOUBLE_EQ(find("Ookami", "fujitsu-blas").fraction_of_peak, 0.71);
+  EXPECT_DOUBLE_EQ(find("Stampede2-SKX", "mkl").fraction_of_peak, 0.97);
+  EXPECT_DOUBLE_EQ(find("Stampede2-KNL", "mkl").fraction_of_peak, 0.11);
+  const double ratio = find("Ookami", "fujitsu-blas").fraction_of_peak /
+                       find("Ookami", "openblas").fraction_of_peak;
+  EXPECT_NEAR(ratio, 14.0, 1.0);
+  // Per-core: A64FX ~ SKX and ~1.6x Zen2 (paper's summary).
+  const double a64 = point_gflops_per_core(find("Ookami", "fujitsu-blas"));
+  const double skx = point_gflops_per_core(find("Stampede2-SKX", "mkl"));
+  const double zen = point_gflops_per_core(find("Bridges2-Zen2", "blis"));
+  EXPECT_NEAR(a64 / skx, 1.0, 0.15);
+  EXPECT_NEAR(a64 / zen, 1.6, 0.25);
+}
+
+TEST(Fig9, HplOpenBlasRatio) {
+  const auto pts = fig9a_hpl_points();
+  double fj = 0.0, ob = 0.0;
+  for (const auto& p : pts) {
+    if (p.system == "Ookami" && p.library == "fujitsu-blas") fj = p.fraction_of_peak;
+    if (p.system == "Ookami" && p.library == "openblas") ob = p.fraction_of_peak;
+  }
+  EXPECT_NEAR(fj / ob, 10.0, 1.0);  // paper: "nearly ten times faster"
+}
+
+TEST(Fig9, FftwRatio) {
+  const auto pts = fig9c_fft_points();
+  double fj = 0.0, fw = 0.0;
+  for (const auto& p : pts) {
+    if (p.system == "Ookami" && p.library == "fujitsu-fftw") fj = p.fraction_of_peak;
+    if (p.system == "Ookami" && p.library == "fftw") fw = p.fraction_of_peak;
+  }
+  EXPECT_NEAR(fj / fw, 4.2, 0.3);  // paper: "4.2 times faster"
+}
+
+TEST(Fig9B, FujitsuMpiScalesWorseThanOpenmpi) {
+  LibraryPoint fj{"Ookami", "fujitsu-blas", 0.58};
+  for (int nodes : {2, 4, 8}) {
+    const double f = hpl_multinode_gflops(fj, netsim::fujitsu_mpi(), nodes);
+    const double o = hpl_multinode_gflops(fj, netsim::openmpi_armpl(), nodes);
+    EXPECT_LT(f, o) << nodes << " nodes";
+  }
+  // Single node: identical (no communication).
+  EXPECT_DOUBLE_EQ(hpl_multinode_gflops(fj, netsim::fujitsu_mpi(), 1),
+                   hpl_multinode_gflops(fj, netsim::openmpi_armpl(), 1));
+}
+
+TEST(Fig9B, ParallelEfficiencyDeclines) {
+  LibraryPoint fj{"Ookami", "fujitsu-blas", 0.58};
+  const double g1 = hpl_multinode_gflops(fj, netsim::fujitsu_mpi(), 1);
+  const double g8 = hpl_multinode_gflops(fj, netsim::fujitsu_mpi(), 8);
+  EXPECT_GT(g8, g1);            // still faster in aggregate
+  EXPECT_LT(g8, 8.0 * g1);      // but below ideal speedup
+  EXPECT_LT(g8 / (8.0 * g1), 0.7);  // "does not scale well"
+}
+
+TEST(Fig9D, FftMultinodeIsFlat) {
+  LibraryPoint fj{"Ookami", "fujitsu-fftw", 0.022};
+  const double g1 = fft_multinode_gflops(fj, netsim::fujitsu_mpi(), 1);
+  const double g8 = fft_multinode_gflops(fj, netsim::fujitsu_mpi(), 8);
+  // The paper calls multi-node FFT "relatively flat": well below 3x at 8 nodes.
+  EXPECT_LT(g8 / g1, 3.0);
+}
+
+}  // namespace
+}  // namespace ookami::hpcc

