@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dgemm_block.dir/abl_dgemm_block.cpp.o"
+  "CMakeFiles/abl_dgemm_block.dir/abl_dgemm_block.cpp.o.d"
+  "abl_dgemm_block"
+  "abl_dgemm_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dgemm_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_exp_poly.dir/abl_exp_poly.cpp.o"
+  "CMakeFiles/abl_exp_poly.dir/abl_exp_poly.cpp.o.d"
+  "abl_exp_poly"
+  "abl_exp_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_exp_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gather_window.dir/abl_gather_window.cpp.o"
+  "CMakeFiles/abl_gather_window.dir/abl_gather_window.cpp.o.d"
+  "abl_gather_window"
+  "abl_gather_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gather_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

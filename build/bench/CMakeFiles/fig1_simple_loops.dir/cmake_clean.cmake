@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_simple_loops.dir/fig1_simple_loops.cpp.o"
+  "CMakeFiles/fig1_simple_loops.dir/fig1_simple_loops.cpp.o.d"
+  "fig1_simple_loops"
+  "fig1_simple_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_simple_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

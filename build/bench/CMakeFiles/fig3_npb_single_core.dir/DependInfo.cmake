@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_npb_single_core.cpp" "bench/CMakeFiles/fig3_npb_single_core.dir/fig3_npb_single_core.cpp.o" "gcc" "bench/CMakeFiles/fig3_npb_single_core.dir/fig3_npb_single_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/toolchain/CMakeFiles/ookami_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/loops/CMakeFiles/ookami_loops.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecmath/CMakeFiles/ookami_vecmath.dir/DependInfo.cmake"
+  "/root/repo/build/src/sve/CMakeFiles/ookami_sve.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ookami_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/ookami_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/ookami_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/lulesh/CMakeFiles/ookami_lulesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcc/CMakeFiles/ookami_hpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ookami_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ookami_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ookami_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

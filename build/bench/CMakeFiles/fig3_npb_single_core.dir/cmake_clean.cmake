@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_npb_single_core.dir/fig3_npb_single_core.cpp.o"
+  "CMakeFiles/fig3_npb_single_core.dir/fig3_npb_single_core.cpp.o.d"
+  "fig3_npb_single_core"
+  "fig3_npb_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_npb_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_npb_all_cores.dir/fig4_npb_all_cores.cpp.o"
+  "CMakeFiles/fig4_npb_all_cores.dir/fig4_npb_all_cores.cpp.o.d"
+  "fig4_npb_all_cores"
+  "fig4_npb_all_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_npb_all_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

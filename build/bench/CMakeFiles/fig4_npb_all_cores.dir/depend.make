@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_npb_all_cores.
+# This may be replaced when dependencies are built.

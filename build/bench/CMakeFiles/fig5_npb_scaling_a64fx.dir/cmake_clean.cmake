@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_npb_scaling_a64fx.dir/fig5_npb_scaling_a64fx.cpp.o"
+  "CMakeFiles/fig5_npb_scaling_a64fx.dir/fig5_npb_scaling_a64fx.cpp.o.d"
+  "fig5_npb_scaling_a64fx"
+  "fig5_npb_scaling_a64fx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_npb_scaling_a64fx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

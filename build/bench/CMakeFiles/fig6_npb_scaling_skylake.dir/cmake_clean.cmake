@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_npb_scaling_skylake.dir/fig6_npb_scaling_skylake.cpp.o"
+  "CMakeFiles/fig6_npb_scaling_skylake.dir/fig6_npb_scaling_skylake.cpp.o.d"
+  "fig6_npb_scaling_skylake"
+  "fig6_npb_scaling_skylake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_npb_scaling_skylake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

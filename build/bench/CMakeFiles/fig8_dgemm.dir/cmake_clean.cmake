@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dgemm.dir/fig8_dgemm.cpp.o"
+  "CMakeFiles/fig8_dgemm.dir/fig8_dgemm.cpp.o.d"
+  "fig8_dgemm"
+  "fig8_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

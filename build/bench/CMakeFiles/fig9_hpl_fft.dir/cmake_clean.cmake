@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hpl_fft.dir/fig9_hpl_fft.cpp.o"
+  "CMakeFiles/fig9_hpl_fft.dir/fig9_hpl_fft.cpp.o.d"
+  "fig9_hpl_fft"
+  "fig9_hpl_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hpl_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_exp_study.dir/sec4_exp_study.cpp.o"
+  "CMakeFiles/sec4_exp_study.dir/sec4_exp_study.cpp.o.d"
+  "sec4_exp_study"
+  "sec4_exp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_exp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_toolchains.dir/table1_toolchains.cpp.o"
+  "CMakeFiles/table1_toolchains.dir/table1_toolchains.cpp.o.d"
+  "table1_toolchains"
+  "table1_toolchains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_toolchains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lulesh.dir/table2_lulesh.cpp.o"
+  "CMakeFiles/table2_lulesh.dir/table2_lulesh.cpp.o.d"
+  "table2_lulesh"
+  "table2_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

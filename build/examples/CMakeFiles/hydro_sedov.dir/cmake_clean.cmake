@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydro_sedov.dir/hydro_sedov.cpp.o"
+  "CMakeFiles/hydro_sedov.dir/hydro_sedov.cpp.o.d"
+  "hydro_sedov"
+  "hydro_sedov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydro_sedov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

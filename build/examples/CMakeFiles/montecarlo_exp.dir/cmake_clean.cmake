@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_exp.dir/montecarlo_exp.cpp.o"
+  "CMakeFiles/montecarlo_exp.dir/montecarlo_exp.cpp.o.d"
+  "montecarlo_exp"
+  "montecarlo_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

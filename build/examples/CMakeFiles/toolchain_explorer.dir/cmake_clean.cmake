@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_explorer.dir/toolchain_explorer.cpp.o"
+  "CMakeFiles/toolchain_explorer.dir/toolchain_explorer.cpp.o.d"
+  "toolchain_explorer"
+  "toolchain_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sve")
+subdirs("vecmath")
+subdirs("perf")
+subdirs("numa")
+subdirs("toolchain")
+subdirs("loops")
+subdirs("netsim")
+subdirs("npb")
+subdirs("lulesh")
+subdirs("hpcc")
+subdirs("report")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_common.dir/cli.cpp.o"
+  "CMakeFiles/ookami_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ookami_common.dir/table.cpp.o"
+  "CMakeFiles/ookami_common.dir/table.cpp.o.d"
+  "CMakeFiles/ookami_common.dir/threadpool.cpp.o"
+  "CMakeFiles/ookami_common.dir/threadpool.cpp.o.d"
+  "libookami_common.a"
+  "libookami_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

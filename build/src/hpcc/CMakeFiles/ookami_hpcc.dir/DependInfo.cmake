@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpcc/dgemm.cpp" "src/hpcc/CMakeFiles/ookami_hpcc.dir/dgemm.cpp.o" "gcc" "src/hpcc/CMakeFiles/ookami_hpcc.dir/dgemm.cpp.o.d"
+  "/root/repo/src/hpcc/fft.cpp" "src/hpcc/CMakeFiles/ookami_hpcc.dir/fft.cpp.o" "gcc" "src/hpcc/CMakeFiles/ookami_hpcc.dir/fft.cpp.o.d"
+  "/root/repo/src/hpcc/hpl.cpp" "src/hpcc/CMakeFiles/ookami_hpcc.dir/hpl.cpp.o" "gcc" "src/hpcc/CMakeFiles/ookami_hpcc.dir/hpl.cpp.o.d"
+  "/root/repo/src/hpcc/libraries.cpp" "src/hpcc/CMakeFiles/ookami_hpcc.dir/libraries.cpp.o" "gcc" "src/hpcc/CMakeFiles/ookami_hpcc.dir/libraries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/ookami_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ookami_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ookami_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_hpcc.dir/dgemm.cpp.o"
+  "CMakeFiles/ookami_hpcc.dir/dgemm.cpp.o.d"
+  "CMakeFiles/ookami_hpcc.dir/fft.cpp.o"
+  "CMakeFiles/ookami_hpcc.dir/fft.cpp.o.d"
+  "CMakeFiles/ookami_hpcc.dir/hpl.cpp.o"
+  "CMakeFiles/ookami_hpcc.dir/hpl.cpp.o.d"
+  "CMakeFiles/ookami_hpcc.dir/libraries.cpp.o"
+  "CMakeFiles/ookami_hpcc.dir/libraries.cpp.o.d"
+  "libookami_hpcc.a"
+  "libookami_hpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_hpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

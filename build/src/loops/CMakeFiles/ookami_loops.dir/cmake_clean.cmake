@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_loops.dir/kernels.cpp.o"
+  "CMakeFiles/ookami_loops.dir/kernels.cpp.o.d"
+  "libookami_loops.a"
+  "libookami_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

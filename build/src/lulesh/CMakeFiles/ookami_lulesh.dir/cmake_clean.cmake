@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_lulesh.dir/lulesh.cpp.o"
+  "CMakeFiles/ookami_lulesh.dir/lulesh.cpp.o.d"
+  "libookami_lulesh.a"
+  "libookami_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_netsim.dir/netsim.cpp.o"
+  "CMakeFiles/ookami_netsim.dir/netsim.cpp.o.d"
+  "libookami_netsim.a"
+  "libookami_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

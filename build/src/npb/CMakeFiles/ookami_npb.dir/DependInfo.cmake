@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/bt.cpp" "src/npb/CMakeFiles/ookami_npb.dir/bt.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/ookami_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/npb/CMakeFiles/ookami_npb.dir/ep.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/ep.cpp.o.d"
+  "/root/repo/src/npb/grid.cpp" "src/npb/CMakeFiles/ookami_npb.dir/grid.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/grid.cpp.o.d"
+  "/root/repo/src/npb/lu.cpp" "src/npb/CMakeFiles/ookami_npb.dir/lu.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/lu.cpp.o.d"
+  "/root/repo/src/npb/npb.cpp" "src/npb/CMakeFiles/ookami_npb.dir/npb.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/npb.cpp.o.d"
+  "/root/repo/src/npb/profiles.cpp" "src/npb/CMakeFiles/ookami_npb.dir/profiles.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/profiles.cpp.o.d"
+  "/root/repo/src/npb/randdp.cpp" "src/npb/CMakeFiles/ookami_npb.dir/randdp.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/randdp.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/npb/CMakeFiles/ookami_npb.dir/sp.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/sp.cpp.o.d"
+  "/root/repo/src/npb/ua.cpp" "src/npb/CMakeFiles/ookami_npb.dir/ua.cpp.o" "gcc" "src/npb/CMakeFiles/ookami_npb.dir/ua.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/ookami_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ookami_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_npb.dir/bt.cpp.o"
+  "CMakeFiles/ookami_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/cg.cpp.o"
+  "CMakeFiles/ookami_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/ep.cpp.o"
+  "CMakeFiles/ookami_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/grid.cpp.o"
+  "CMakeFiles/ookami_npb.dir/grid.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/lu.cpp.o"
+  "CMakeFiles/ookami_npb.dir/lu.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/npb.cpp.o"
+  "CMakeFiles/ookami_npb.dir/npb.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/profiles.cpp.o"
+  "CMakeFiles/ookami_npb.dir/profiles.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/randdp.cpp.o"
+  "CMakeFiles/ookami_npb.dir/randdp.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/sp.cpp.o"
+  "CMakeFiles/ookami_npb.dir/sp.cpp.o.d"
+  "CMakeFiles/ookami_npb.dir/ua.cpp.o"
+  "CMakeFiles/ookami_npb.dir/ua.cpp.o.d"
+  "libookami_npb.a"
+  "libookami_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_numa.dir/numa.cpp.o"
+  "CMakeFiles/ookami_numa.dir/numa.cpp.o.d"
+  "libookami_numa.a"
+  "libookami_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

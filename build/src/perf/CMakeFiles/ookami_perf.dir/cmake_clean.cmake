@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_perf.dir/app_model.cpp.o"
+  "CMakeFiles/ookami_perf.dir/app_model.cpp.o.d"
+  "CMakeFiles/ookami_perf.dir/loop_model.cpp.o"
+  "CMakeFiles/ookami_perf.dir/loop_model.cpp.o.d"
+  "CMakeFiles/ookami_perf.dir/machine.cpp.o"
+  "CMakeFiles/ookami_perf.dir/machine.cpp.o.d"
+  "libookami_perf.a"
+  "libookami_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_report.dir/report.cpp.o"
+  "CMakeFiles/ookami_report.dir/report.cpp.o.d"
+  "libookami_report.a"
+  "libookami_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

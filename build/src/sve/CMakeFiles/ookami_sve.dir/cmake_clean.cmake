@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_sve.dir/fexpa.cpp.o"
+  "CMakeFiles/ookami_sve.dir/fexpa.cpp.o.d"
+  "libookami_sve.a"
+  "libookami_sve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_sve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

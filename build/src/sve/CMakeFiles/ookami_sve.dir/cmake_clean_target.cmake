@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libookami_sve.a"
+)

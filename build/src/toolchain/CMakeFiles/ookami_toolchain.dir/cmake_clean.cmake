@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_toolchain.dir/toolchain.cpp.o"
+  "CMakeFiles/ookami_toolchain.dir/toolchain.cpp.o.d"
+  "libookami_toolchain.a"
+  "libookami_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

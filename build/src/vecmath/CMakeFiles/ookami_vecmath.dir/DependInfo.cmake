@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vecmath/exp.cpp" "src/vecmath/CMakeFiles/ookami_vecmath.dir/exp.cpp.o" "gcc" "src/vecmath/CMakeFiles/ookami_vecmath.dir/exp.cpp.o.d"
+  "/root/repo/src/vecmath/extra.cpp" "src/vecmath/CMakeFiles/ookami_vecmath.dir/extra.cpp.o" "gcc" "src/vecmath/CMakeFiles/ookami_vecmath.dir/extra.cpp.o.d"
+  "/root/repo/src/vecmath/log_pow.cpp" "src/vecmath/CMakeFiles/ookami_vecmath.dir/log_pow.cpp.o" "gcc" "src/vecmath/CMakeFiles/ookami_vecmath.dir/log_pow.cpp.o.d"
+  "/root/repo/src/vecmath/recip_sqrt.cpp" "src/vecmath/CMakeFiles/ookami_vecmath.dir/recip_sqrt.cpp.o" "gcc" "src/vecmath/CMakeFiles/ookami_vecmath.dir/recip_sqrt.cpp.o.d"
+  "/root/repo/src/vecmath/trig.cpp" "src/vecmath/CMakeFiles/ookami_vecmath.dir/trig.cpp.o" "gcc" "src/vecmath/CMakeFiles/ookami_vecmath.dir/trig.cpp.o.d"
+  "/root/repo/src/vecmath/ulp.cpp" "src/vecmath/CMakeFiles/ookami_vecmath.dir/ulp.cpp.o" "gcc" "src/vecmath/CMakeFiles/ookami_vecmath.dir/ulp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sve/CMakeFiles/ookami_sve.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ookami_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

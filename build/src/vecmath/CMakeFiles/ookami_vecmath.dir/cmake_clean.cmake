@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ookami_vecmath.dir/exp.cpp.o"
+  "CMakeFiles/ookami_vecmath.dir/exp.cpp.o.d"
+  "CMakeFiles/ookami_vecmath.dir/extra.cpp.o"
+  "CMakeFiles/ookami_vecmath.dir/extra.cpp.o.d"
+  "CMakeFiles/ookami_vecmath.dir/log_pow.cpp.o"
+  "CMakeFiles/ookami_vecmath.dir/log_pow.cpp.o.d"
+  "CMakeFiles/ookami_vecmath.dir/recip_sqrt.cpp.o"
+  "CMakeFiles/ookami_vecmath.dir/recip_sqrt.cpp.o.d"
+  "CMakeFiles/ookami_vecmath.dir/trig.cpp.o"
+  "CMakeFiles/ookami_vecmath.dir/trig.cpp.o.d"
+  "CMakeFiles/ookami_vecmath.dir/ulp.cpp.o"
+  "CMakeFiles/ookami_vecmath.dir/ulp.cpp.o.d"
+  "libookami_vecmath.a"
+  "libookami_vecmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ookami_vecmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

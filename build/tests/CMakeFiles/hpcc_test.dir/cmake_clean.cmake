@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_test.dir/hpcc_test.cpp.o"
+  "CMakeFiles/hpcc_test.dir/hpcc_test.cpp.o.d"
+  "hpcc_test"
+  "hpcc_test.pdb"
+  "hpcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

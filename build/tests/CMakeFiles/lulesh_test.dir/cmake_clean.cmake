@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lulesh_test.dir/lulesh_test.cpp.o"
+  "CMakeFiles/lulesh_test.dir/lulesh_test.cpp.o.d"
+  "lulesh_test"
+  "lulesh_test.pdb"
+  "lulesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lulesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

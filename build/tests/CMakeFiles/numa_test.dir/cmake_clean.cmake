@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_test.dir/numa_test.cpp.o"
+  "CMakeFiles/numa_test.dir/numa_test.cpp.o.d"
+  "numa_test"
+  "numa_test.pdb"
+  "numa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

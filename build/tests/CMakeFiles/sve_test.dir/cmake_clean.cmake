@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sve_test.dir/sve_test.cpp.o"
+  "CMakeFiles/sve_test.dir/sve_test.cpp.o.d"
+  "sve_test"
+  "sve_test.pdb"
+  "sve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vecmath_extra_test.dir/vecmath_extra_test.cpp.o"
+  "CMakeFiles/vecmath_extra_test.dir/vecmath_extra_test.cpp.o.d"
+  "vecmath_extra_test"
+  "vecmath_extra_test.pdb"
+  "vecmath_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vecmath_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

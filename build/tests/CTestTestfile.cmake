@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sve_test[1]_include.cmake")
+include("/root/repo/build/tests/vecmath_test[1]_include.cmake")
+include("/root/repo/build/tests/vecmath_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/toolchain_test[1]_include.cmake")
+include("/root/repo/build/tests/loops_test[1]_include.cmake")
+include("/root/repo/build/tests/npb_test[1]_include.cmake")
+include("/root/repo/build/tests/lulesh_test[1]_include.cmake")
+include("/root/repo/build/tests/hpcc_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/numa_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
