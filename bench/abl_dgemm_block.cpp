@@ -1,12 +1,15 @@
 // Ablation A4: DGEMM implementation-tier sweep on the host — the
 // library-quality axis of Figure 8 in miniature (naive -> blocked ->
-// blocked+threads), across matrix sizes, with correctness checks.
+// blocked+threads), across matrix sizes, timed under the harness
+// repeat protocol with GF/s recorded from the median.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
 
 #include "ookami/common/aligned.hpp"
 #include "ookami/common/rng.hpp"
 #include "ookami/common/threadpool.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/hpcc/hpcc.hpp"
 
 using namespace ookami;
@@ -14,26 +17,27 @@ using hpcc::GemmImpl;
 
 namespace {
 
-void BM_Dgemm(benchmark::State& state, GemmImpl impl) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+void bench_dgemm(harness::Run& run, const char* tier, GemmImpl impl, std::size_t n) {
   ThreadPool pool(2);
   avec<double> a(n * n), b(n * n), c(n * n);
   Xoshiro256 rng(1);
   fill_uniform({a.data(), a.size()}, -1.0, 1.0, rng);
   fill_uniform({b.data(), b.size()}, -1.0, 1.0, rng);
-  for (auto _ : state) {
-    hpcc::dgemm(impl, n, a.data(), b.data(), c.data(), pool);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["GF/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
+  const std::string name = std::string(tier) + "/n" + std::to_string(n);
+  const auto& s =
+      run.time(name, [&] { hpcc::dgemm(impl, n, a.data(), b.data(), c.data(), pool); });
+  const double gfs = 2.0 * static_cast<double>(n) * n * n / s.median() / 1e9;
+  run.record(name + "/gflops", gfs, "GF/s", harness::Direction::kHigherIsBetter);
+  std::printf("  dgemm %-12s median %9.3f ms  %6.2f GF/s\n", name.c_str(), s.median() * 1e3,
+              gfs);
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_Dgemm, naive, GemmImpl::kNaive)->Arg(128)->Arg(256);
-BENCHMARK_CAPTURE(BM_Dgemm, blocked, GemmImpl::kBlocked)->Arg(128)->Arg(256)->Arg(384);
-BENCHMARK_CAPTURE(BM_Dgemm, tuned, GemmImpl::kTuned)->Arg(128)->Arg(256)->Arg(384);
-
-BENCHMARK_MAIN();
+OOKAMI_BENCH(abl_dgemm_block) {
+  std::printf("Ablation A4 — DGEMM tier sweep (host)\n\n");
+  for (std::size_t n : {128ul, 256ul}) bench_dgemm(run, "naive", GemmImpl::kNaive, n);
+  for (std::size_t n : {128ul, 256ul, 384ul}) bench_dgemm(run, "blocked", GemmImpl::kBlocked, n);
+  for (std::size_t n : {128ul, 256ul, 384ul}) bench_dgemm(run, "tuned", GemmImpl::kTuned, n);
+  return 0;
+}

@@ -1,11 +1,14 @@
 // Ablation A2: exponential polynomial scheme and loop-shape sweep on
-// the host (google-benchmark microbenchmarks of the emulated kernels)
-// plus modelled A64FX cycles for each configuration.
+// the host (harness micro-timings of the emulated kernels).  The
+// modelled A64FX cycles for the same configurations are reported by
+// sec4_exp_study; this binary tracks the executable emulation.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
 
 #include "ookami/common/aligned.hpp"
 #include "ookami/common/rng.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/vecmath/vecmath.hpp"
 
 using namespace ookami;
@@ -23,43 +26,34 @@ struct Data {
   }
 };
 
-Data& data() {
-  static Data d;
-  return d;
-}
-
-void BM_ExpShape(benchmark::State& state, LoopShape shape, PolyScheme scheme, Rounding r) {
-  auto& d = data();
-  for (auto _ : state) {
+void bench_shape(harness::Run& run, const char* name, LoopShape shape, PolyScheme scheme,
+                 Rounding r, Data& d) {
+  const auto& s = run.time(name, [&] {
     vecmath::exp_array({d.x.data(), d.x.size()}, {d.y.data(), d.y.size()}, shape, scheme, r);
-    benchmark::DoNotOptimize(d.y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(d.x.size()));
-}
-
-void BM_ExpSerial(benchmark::State& state) {
-  auto& d = data();
-  for (auto _ : state) {
-    vecmath::exp_array_serial({d.x.data(), d.x.size()}, {d.y.data(), d.y.size()});
-    benchmark::DoNotOptimize(d.y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(d.x.size()));
+  });
+  std::printf("  %-26s median %8.1f ns (%.2f ns/elem)\n", name, s.median() * 1e9,
+              s.median() / static_cast<double>(d.x.size()) * 1e9);
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_ExpShape, vla_horner_fast, LoopShape::kVla, PolyScheme::kHorner,
-                  Rounding::kFast);
-BENCHMARK_CAPTURE(BM_ExpShape, fixed_horner_fast, LoopShape::kFixed, PolyScheme::kHorner,
-                  Rounding::kFast);
-BENCHMARK_CAPTURE(BM_ExpShape, unrolled_horner_fast, LoopShape::kUnrolled2, PolyScheme::kHorner,
-                  Rounding::kFast);
-BENCHMARK_CAPTURE(BM_ExpShape, unrolled_estrin_fast, LoopShape::kUnrolled2, PolyScheme::kEstrin,
-                  Rounding::kFast);
-BENCHMARK_CAPTURE(BM_ExpShape, unrolled_estrin_corrected, LoopShape::kUnrolled2,
-                  PolyScheme::kEstrin, Rounding::kCorrected);
-BENCHMARK(BM_ExpSerial);
+OOKAMI_BENCH(abl_exp_poly) {
+  std::printf("Ablation A2 — exp kernel shape/scheme sweep (host emulation)\n\n");
+  Data d;
+  bench_shape(run, "vla_horner_fast", LoopShape::kVla, PolyScheme::kHorner, Rounding::kFast, d);
+  bench_shape(run, "fixed_horner_fast", LoopShape::kFixed, PolyScheme::kHorner, Rounding::kFast,
+              d);
+  bench_shape(run, "unrolled_horner_fast", LoopShape::kUnrolled2, PolyScheme::kHorner,
+              Rounding::kFast, d);
+  bench_shape(run, "unrolled_estrin_fast", LoopShape::kUnrolled2, PolyScheme::kEstrin,
+              Rounding::kFast, d);
+  bench_shape(run, "unrolled_estrin_corrected", LoopShape::kUnrolled2, PolyScheme::kEstrin,
+              Rounding::kCorrected, d);
 
-BENCHMARK_MAIN();
+  const auto& serial = run.time("serial_libm", [&] {
+    vecmath::exp_array_serial({d.x.data(), d.x.size()}, {d.y.data(), d.y.size()});
+  });
+  std::printf("  %-26s median %8.1f ns (%.2f ns/elem)\n", "serial_libm", serial.median() * 1e9,
+              serial.median() / static_cast<double>(d.x.size()) * 1e9);
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "ookami/common/rng.hpp"
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/perf/loop_model.hpp"
 #include "ookami/sve/sve.hpp"
 
@@ -31,7 +32,7 @@ double fused_pair_fraction(std::size_t n, std::size_t window_elems) {
 
 }  // namespace
 
-int main() {
+OOKAMI_BENCH(abl_gather_window) {
   std::printf("Ablation A1 — gather 128-byte-window pair fusion\n\n");
   const auto& m = perf::a64fx();
 
@@ -47,6 +48,10 @@ int main() {
     l.cache_bytes_per_elem = 16;
     t.add_row({std::to_string(w), std::to_string(w * 8), TextTable::num(frac, 3),
                TextTable::num(perf::cycles_per_elem(m, l), 3)});
+    run.record("window-" + std::to_string(w) + "/fused-fraction", frac, "fraction",
+               harness::Direction::kHigherIsBetter);
+    run.record("window-" + std::to_string(w) + "/cycles-per-elem", perf::cycles_per_elem(m, l),
+               "cyc/elem");
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("Windows of <= 16 doubles stay inside one aligned 128-byte region, so every\n"

@@ -5,12 +5,13 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/numa/numa.hpp"
 
 using namespace ookami;
 using numa::Placement;
 
-int main() {
+OOKAMI_BENCH(abl_placement) {
   std::printf("Ablation A3 — simulated STREAM triad bandwidth (GB/s) on the A64FX\n"
               "CMG topology under three page-placement policies\n\n");
 
@@ -24,6 +25,7 @@ int main() {
     }
   }
   std::printf("%s\n", g.table(0).c_str());
+  run.record_grouped(g, "GB/s", harness::Direction::kHigherIsBetter);
   std::printf("Beyond 12 threads (one CMG), all-on-CMG0 saturates a single memory\n"
               "controller and its inbound links while first-touch rides all four HBM\n"
               "stacks — the mechanism behind the Fujitsu runtime's Fig. 4 behaviour.\n");

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/loops/kernels.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
@@ -16,7 +17,7 @@
 using namespace ookami;
 using toolchain::Toolchain;
 
-int main() {
+OOKAMI_BENCH(fig1_simple_loops) {
   const auto& a64fx = perf::a64fx();
   const auto& skl = perf::skylake_6140();
 
@@ -38,6 +39,7 @@ int main() {
   }
   std::printf("\n%s\n%s", fig.table().c_str(), fig.bars().c_str());
   write_file(report::artifact_path("fig1_simple_loops.csv"), fig.csv());
+  run.record_grouped(fig, "rel");
 
   const std::vector<report::ClaimCheck> claims = {
       {"fig1/simple/fujitsu", "simple loop ~2x (clock ratio)", 2.0,
@@ -48,6 +50,6 @@ int main() {
       {"fig1/short-gather/fujitsu", "short gather ~1.5x (128-B pair fusion)", 1.5,
        fig.get("short-gather", "fujitsu"), 1.35},
   };
-  std::printf("\n%s", report::render_claims("Figure 1", claims).c_str());
+  run.check("Figure 1", claims);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/loops/kernels.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
@@ -14,7 +15,7 @@
 using namespace ookami;
 using toolchain::Toolchain;
 
-int main() {
+OOKAMI_BENCH(fig2_math_functions) {
   const auto& a64fx = perf::a64fx();
   const auto& skl = perf::skylake_6140();
 
@@ -35,24 +36,31 @@ int main() {
   }
   std::printf("%s\n%s", fig.table().c_str(), fig.bars().c_str());
   write_file(report::artifact_path("fig2_math_functions.csv"), fig.csv());
+  run.record_grouped(fig, "rel");
 
   // Measured accuracy of our own vector math (the paper defers accuracy
   // "to another paper"; we report it here).
   std::printf("Accuracy of this kit's vector math vs libm (max ulp over sweeps):\n");
   using vecmath::ulp_sweep;
   using sve::Vec;
-  std::printf("  exp  (corrected): %.1f ulp\n",
-              ulp_sweep([](double x) { return vecmath::exp(Vec(x))[0]; },
-                        [](double x) { return std::exp(x); }, -700, 700, 20000).max_ulp);
-  std::printf("  sin             : %.1f ulp\n",
-              ulp_sweep([](double x) { return vecmath::sin(Vec(x))[0]; },
-                        [](double x) { return std::sin(x); }, -100, 100, 20000).max_ulp);
-  std::printf("  recip (Newton)  : %.1f ulp\n",
-              ulp_sweep([](double x) { return vecmath::recip_newton(Vec(x))[0]; },
-                        [](double x) { return 1.0 / x; }, 1e-3, 1e3, 20000).max_ulp);
-  std::printf("  sqrt  (Newton)  : %.1f ulp\n",
-              ulp_sweep([](double x) { return vecmath::sqrt_newton(Vec(x))[0]; },
-                        [](double x) { return std::sqrt(x); }, 1e-3, 1e3, 20000).max_ulp);
+  const double exp_ulp = ulp_sweep([](double x) { return vecmath::exp(Vec(x))[0]; },
+                                   [](double x) { return std::exp(x); }, -700, 700, 20000).max_ulp;
+  const double sin_ulp = ulp_sweep([](double x) { return vecmath::sin(Vec(x))[0]; },
+                                   [](double x) { return std::sin(x); }, -100, 100, 20000).max_ulp;
+  const double recip_ulp =
+      ulp_sweep([](double x) { return vecmath::recip_newton(Vec(x))[0]; },
+                [](double x) { return 1.0 / x; }, 1e-3, 1e3, 20000).max_ulp;
+  const double sqrt_ulp =
+      ulp_sweep([](double x) { return vecmath::sqrt_newton(Vec(x))[0]; },
+                [](double x) { return std::sqrt(x); }, 1e-3, 1e3, 20000).max_ulp;
+  std::printf("  exp  (corrected): %.1f ulp\n", exp_ulp);
+  std::printf("  sin             : %.1f ulp\n", sin_ulp);
+  std::printf("  recip (Newton)  : %.1f ulp\n", recip_ulp);
+  std::printf("  sqrt  (Newton)  : %.1f ulp\n", sqrt_ulp);
+  run.record("ulp/exp-corrected", exp_ulp, "ulp");
+  run.record("ulp/sin", sin_ulp, "ulp");
+  run.record("ulp/recip-newton", recip_ulp, "ulp");
+  run.record("ulp/sqrt-newton", sqrt_ulp, "ulp");
 
   const double fj_exp = fig.get("exp", "fujitsu");
   const std::vector<report::ClaimCheck> claims = {
@@ -66,6 +74,6 @@ int main() {
       {"fig2/pow/amd", "AMD pow ~10x Fujitsu", 10.0, fig.get("pow", "amd") / fig.get("pow", "fujitsu"),
        1.6},
   };
-  std::printf("\n%s", report::render_claims("Figure 2", claims).c_str());
+  run.check("Figure 2", claims);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/npb/npb.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
@@ -15,13 +16,14 @@ using namespace ookami;
 using npb::Benchmark;
 using toolchain::Toolchain;
 
-int main() {
+OOKAMI_BENCH(fig3_npb_single_core) {
   std::printf("Fig. 3 — NPB single-core runtime, class C (modelled; kernels verified at class S)\n\n");
 
   for (auto b : npb::all_benchmarks()) {
     const auto r = npb::run(b, npb::Class::kS, 1);
     std::printf("  %s.S executable: %s (%.3fs, check=%.6g)\n", npb::benchmark_name(b).c_str(),
                 r.verified ? "VERIFIED" : "FAILED", r.seconds, r.check_value);
+    run.record("verify/" + npb::benchmark_name(b) + ".S", r.seconds, "s");
   }
   std::printf("\n");
 
@@ -39,6 +41,9 @@ int main() {
   }
   std::printf("%s\n%s", fig.table(1).c_str(), fig.bars().c_str());
   write_file(report::artifact_path("fig3_npb_single_core.csv"), fig.csv());
+  run.record_grouped(fig, "s");
+  run.note("class", "C");
+  run.note("cores", "1");
 
   const double ep_gcc = fig.get("EP", "gnu");
   const double ep_fj = fig.get("EP", "fujitsu");
@@ -50,6 +55,6 @@ int main() {
       {"fig3/cg-gap", "Intel wins CG by ~1.6x", 1.6, cg_best / cg_skl, 1.5},
       {"fig3/ep-gap", "Intel wins EP by ~5.5x", 5.5, ep_fj / ep_skl, 1.7},
   };
-  std::printf("\n%s", report::render_claims("Figure 3", claims).c_str());
+  run.check("Figure 3", claims);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/npb/npb.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
@@ -13,7 +14,7 @@ using namespace ookami;
 using npb::Benchmark;
 using toolchain::Toolchain;
 
-int main() {
+OOKAMI_BENCH(fig4_npb_all_cores) {
   std::printf("Fig. 4 — NPB all-cores runtime, class C (modelled)\n\n");
 
   GroupedSeries fig("all-cores runtime, seconds (class C)", "app");
@@ -34,6 +35,9 @@ int main() {
   }
   std::printf("%s\n%s", fig.table(2).c_str(), fig.bars().c_str());
   write_file(report::artifact_path("fig4_npb_all_cores.csv"), fig.csv());
+  run.record_grouped(fig, "s");
+  run.note("class", "C");
+  run.note("cores", "48 (A64FX) / 36 (Skylake)");
 
   const std::vector<report::ClaimCheck> claims = {
       {"fig4/sp-win", "A64FX beats Skylake on SP at full node", 2.0,
@@ -45,6 +49,6 @@ int main() {
       {"fig4/arm-ua-deviance", "Arm deviates on region-heavy UA", 1.2,
        fig.get("UA", "arm") / fig.get("UA", "gnu"), 1.5},
   };
-  std::printf("\n%s", report::render_claims("Figure 4", claims).c_str());
+  run.check("Figure 4", claims);
   return 0;
 }

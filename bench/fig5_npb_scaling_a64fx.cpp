@@ -4,13 +4,14 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/npb/npb.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
 
 using namespace ookami;
 
-int main() {
+OOKAMI_BENCH(fig5_npb_scaling_a64fx) {
   std::printf("Fig. 5 — NPB parallel efficiency on A64FX (GNU compiler, class C)\n\n");
   const auto& cc = toolchain::policy(toolchain::Toolchain::kGnu).app;
 
@@ -23,11 +24,12 @@ int main() {
   }
   std::printf("%s\n", fig.table(3).c_str());
   write_file(report::artifact_path("fig5_npb_scaling_a64fx.csv"), fig.csv());
+  run.record_grouped(fig, "efficiency", harness::Direction::kHigherIsBetter);
 
   const std::vector<report::ClaimCheck> claims = {
       {"fig5/ep-48", "EP scales almost linearly at 48 cores", 1.0, fig.get("48", "EP"), 1.15},
       {"fig5/sp-48", "SP is the worst scaler, ~0.6 at 48 cores", 0.6, fig.get("48", "SP"), 1.3},
   };
-  std::printf("%s", report::render_claims("Figure 5", claims).c_str());
+  run.check("Figure 5", claims);
   return 0;
 }

@@ -4,13 +4,14 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/npb/npb.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
 
 using namespace ookami;
 
-int main() {
+OOKAMI_BENCH(fig6_npb_scaling_skylake) {
   std::printf("Fig. 6 — NPB parallel efficiency on Skylake (Intel compiler, class C)\n\n");
   const auto& cc = toolchain::policy(toolchain::Toolchain::kIntel).app;
   const auto& m = perf::skylake_npb_node();
@@ -24,11 +25,12 @@ int main() {
   }
   std::printf("%s\n", fig.table(3).c_str());
   write_file(report::artifact_path("fig6_npb_scaling_skylake.csv"), fig.csv());
+  run.record_grouped(fig, "efficiency", harness::Direction::kHigherIsBetter);
 
   const std::vector<report::ClaimCheck> claims = {
       {"fig6/ep-36", "EP tops out ~0.7 (boost-clock loss)", 0.70, fig.get("36", "EP"), 1.25},
       {"fig6/sp-36", "SP bottoms out ~0.25", 0.25, fig.get("36", "SP"), 1.5},
   };
-  std::printf("%s", report::render_claims("Figure 6", claims).c_str());
+  run.check("Figure 6", claims);
   return 0;
 }

@@ -5,21 +5,23 @@
 // table.
 
 #include <cstdio>
+#include <tuple>
 
 #include "ookami/common/aligned.hpp"
 #include "ookami/common/rng.hpp"
-#include "ookami/common/timer.hpp"
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/hpcc/hpcc.hpp"
 #include "ookami/report/report.hpp"
 
 using namespace ookami;
 using hpcc::GemmImpl;
 
-int main() {
+OOKAMI_BENCH(fig8_dgemm) {
   std::printf("Fig. 8 — DGEMM GF/s per core (EP-DGEMM), systems x libraries\n\n");
 
-  // Host demonstration of the library-quality axis.
+  // Host demonstration of the library-quality axis, timed under the
+  // harness repeat protocol.
   const std::size_t n = 256;
   ThreadPool pool(2);
   avec<double> a(n * n), b(n * n), c(n * n);
@@ -27,12 +29,16 @@ int main() {
   fill_uniform({a.data(), a.size()}, -1.0, 1.0, rng);
   fill_uniform({b.data(), b.size()}, -1.0, 1.0, rng);
   const double flops = 2.0 * static_cast<double>(n) * n * n;
-  for (auto [impl, name] : {std::pair{GemmImpl::kNaive, "naive (unoptimized reference)"},
-                            std::pair{GemmImpl::kBlocked, "blocked (OpenBLAS-no-SVE tier)"},
-                            std::pair{GemmImpl::kTuned, "blocked+threads (vendor tier)"}}) {
-    const auto s = time_repeated(
-        [&] { hpcc::dgemm(impl, n, a.data(), b.data(), c.data(), pool); }, 3);
-    std::printf("  host dgemm n=%zu %-32s %7.2f GF/s\n", n, name, flops / s.median() / 1e9);
+  for (auto [impl, tag, name] :
+       {std::tuple{GemmImpl::kNaive, "naive", "naive (unoptimized reference)"},
+        std::tuple{GemmImpl::kBlocked, "blocked", "blocked (OpenBLAS-no-SVE tier)"},
+        std::tuple{GemmImpl::kTuned, "tuned", "blocked+threads (vendor tier)"}}) {
+    const auto& s = run.time("host/dgemm-" + std::string(tag),
+                             [&] { hpcc::dgemm(impl, n, a.data(), b.data(), c.data(), pool); });
+    const double gfs = flops / s.median() / 1e9;
+    std::printf("  host dgemm n=%zu %-32s %7.2f GF/s\n", n, name, gfs);
+    run.record("host/dgemm-" + std::string(tag) + "/gflops", gfs, "GF/s",
+               harness::Direction::kHigherIsBetter);
   }
   std::printf("\n");
 
@@ -42,6 +48,7 @@ int main() {
     const double gf = hpcc::point_gflops_per_core(pt);
     chart.add(pt.system + "/" + pt.library, gf,
               "(" + TextTable::num(100.0 * pt.fraction_of_peak, 0) + "%)");
+    run.record(pt.system + "/" + pt.library, gf, "GF/s", harness::Direction::kHigherIsBetter);
     if (pt.system == "Ookami" && pt.library == "fujitsu-blas") fj = gf;
     if (pt.system == "Ookami" && pt.library == "openblas") ob = gf;
     if (pt.system == "Stampede2-SKX") skx = gf;
@@ -55,6 +62,6 @@ int main() {
       {"fig8/skx-parity", "A64FX core ~ SKX core", 1.0, fj / skx, 1.2},
       {"fig8/zen2-ratio", "A64FX core ~1.6x Zen2 core", 1.6, fj / zen, 1.2},
   };
-  std::printf("%s", report::render_claims("Figure 8", claims).c_str());
+  run.check("Figure 8", claims);
   return 0;
 }

@@ -7,18 +7,20 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/hpcc/hpcc.hpp"
 #include "ookami/report/report.hpp"
 
 using namespace ookami;
 
-int main() {
+OOKAMI_BENCH(fig9_hpl_fft) {
   std::printf("Fig. 9 — HPL and FFT performance\n\n");
 
   // Host verification.
   const auto hpl = hpcc::hpl_solve(200, 32, 2);
   std::printf("  host HPL n=200: %s (scaled residual %.3f, %.2f GF/s host)\n",
               hpl.verified ? "VERIFIED" : "FAILED", hpl.residual_norm, hpl.gflops);
+  run.record("host/hpl-n200/gflops", hpl.gflops, "GF/s", harness::Direction::kHigherIsBetter);
   {
     ThreadPool pool(2);
     std::vector<hpcc::cplx> v(1 << 14);
@@ -29,6 +31,7 @@ int main() {
     double worst = 0.0;
     for (std::size_t i = 0; i < v.size(); ++i) worst = std::max(worst, std::abs(w[i] - v[i]));
     std::printf("  host FFT n=%zu: round-trip max error %.2e\n\n", v.size(), worst);
+    run.record("host/fft-roundtrip-max-error", worst, "abs");
   }
 
   // (A) HPL single node.
@@ -39,6 +42,8 @@ int main() {
     const double gf = hpcc::system_model(pt.system).peak_gflops_node() * pt.fraction_of_peak;
     hpl_chart.add(pt.system + "/" + pt.library, gf,
                   "(" + TextTable::num(100.0 * pt.fraction_of_peak, 0) + "%)");
+    run.record("hpl/" + pt.system + "/" + pt.library, gf, "GF/s",
+               harness::Direction::kHigherIsBetter);
     if (pt.system == "Ookami" && pt.library == "fujitsu-blas") {
       fj = gf;
       fj_hpl = pt;
@@ -58,6 +63,7 @@ int main() {
   }
   std::printf("%s\n", hpl_scale.table(0).c_str());
   write_file(report::artifact_path("fig9b_hpl_scaling.csv"), hpl_scale.csv());
+  run.record_grouped(hpl_scale, "GF/s", harness::Direction::kHigherIsBetter);
 
   // (C) FFT single node.
   BarChart fft_chart("Fig. 9C — FFT GF/s per node (parenthesis: % of peak)", 45);
@@ -67,6 +73,8 @@ int main() {
     const double gf = hpcc::system_model(pt.system).peak_gflops_node() * pt.fraction_of_peak;
     fft_chart.add(pt.system + "/" + pt.library, gf,
                   "(" + TextTable::num(100.0 * pt.fraction_of_peak, 1) + "%)");
+    run.record("fft/" + pt.system + "/" + pt.library, gf, "GF/s",
+               harness::Direction::kHigherIsBetter);
     if (pt.system == "Ookami" && pt.library == "fujitsu-fftw") {
       fjf = gf;
       fj_fft = pt;
@@ -86,6 +94,7 @@ int main() {
   }
   std::printf("%s\n", fft_scale.table(0).c_str());
   write_file(report::artifact_path("fig9d_fft_scaling.csv"), fft_scale.csv());
+  run.record_grouped(fft_scale, "GF/s", harness::Direction::kHigherIsBetter);
 
   const double fj8 = hpcc::hpl_multinode_gflops(fj_hpl, netsim::fujitsu_mpi(), 8);
   const double arm8 = hpcc::hpl_multinode_gflops({"Ookami", "armpl", 0.45},
@@ -102,6 +111,6 @@ int main() {
       {"fig9d/flat", "multi-node FFT relatively flat (8-node speedup << 8)", 2.0, fft8 / fft1,
        2.0},
   };
-  std::printf("%s", report::render_claims("Figure 9", claims).c_str());
+  run.check("Figure 9", claims);
   return 0;
 }

@@ -1,9 +1,13 @@
-// M1: google-benchmark micro-timings of the SVE-emulation loop suite on
-// the host.  These measure the *emulation*, not silicon — they exist to
+// M1: harness micro-timings of the SVE-emulation loop suite on the
+// host.  These measure the *emulation*, not silicon — they exist to
 // track regressions in the kit itself and to compare kernel shapes.
+// Each (kernel, scalar|sve) pair is one timed series; elements/s is
+// derived from the median and recorded alongside.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
 
+#include "ookami/harness/harness.hpp"
 #include "ookami/loops/kernels.hpp"
 
 using namespace ookami;
@@ -11,39 +15,32 @@ using loops::LoopKind;
 
 namespace {
 
-void BM_LoopScalar(benchmark::State& state, LoopKind kind) {
+void bench_kernel(harness::Run& run, LoopKind kind, bool sve) {
   loops::LoopData d = loops::make_loop_data(kind);
-  for (auto _ : state) {
-    loops::run_scalar(kind, d);
-    benchmark::DoNotOptimize(d.y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(d.n()));
-}
-
-void BM_LoopSve(benchmark::State& state, LoopKind kind) {
-  loops::LoopData d = loops::make_loop_data(kind);
-  for (auto _ : state) {
-    loops::run_sve(kind, d);
-    benchmark::DoNotOptimize(d.y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(d.n()));
+  const std::string name =
+      std::string(sve ? "sve/" : "scalar/") + loops::loop_name(kind);
+  const auto& s = run.time(name, [&] {
+    if (sve) {
+      loops::run_sve(kind, d);
+    } else {
+      loops::run_scalar(kind, d);
+    }
+  });
+  const double elems_per_s = static_cast<double>(d.n()) / s.median();
+  run.record(name + "/elems-per-s", elems_per_s, "elem/s",
+             harness::Direction::kHigherIsBetter);
+  std::printf("  %-22s median %10.1f ns  (%.2f Melem/s)\n", name.c_str(), s.median() * 1e9,
+              elems_per_s / 1e6);
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_LoopScalar, simple, LoopKind::kSimple);
-BENCHMARK_CAPTURE(BM_LoopSve, simple, LoopKind::kSimple);
-BENCHMARK_CAPTURE(BM_LoopScalar, predicate, LoopKind::kPredicate);
-BENCHMARK_CAPTURE(BM_LoopSve, predicate, LoopKind::kPredicate);
-BENCHMARK_CAPTURE(BM_LoopScalar, gather, LoopKind::kGather);
-BENCHMARK_CAPTURE(BM_LoopSve, gather, LoopKind::kGather);
-BENCHMARK_CAPTURE(BM_LoopScalar, short_gather, LoopKind::kShortGather);
-BENCHMARK_CAPTURE(BM_LoopSve, short_gather, LoopKind::kShortGather);
-BENCHMARK_CAPTURE(BM_LoopScalar, exp, LoopKind::kExp);
-BENCHMARK_CAPTURE(BM_LoopSve, exp, LoopKind::kExp);
-BENCHMARK_CAPTURE(BM_LoopScalar, sqrt, LoopKind::kSqrt);
-BENCHMARK_CAPTURE(BM_LoopSve, sqrt, LoopKind::kSqrt);
-
-BENCHMARK_MAIN();
+OOKAMI_BENCH(micro_kernels) {
+  std::printf("M1 — emulated loop-kernel micro timings (host, not silicon)\n\n");
+  for (LoopKind kind : {LoopKind::kSimple, LoopKind::kPredicate, LoopKind::kGather,
+                        LoopKind::kShortGather, LoopKind::kExp, LoopKind::kSqrt}) {
+    bench_kernel(run, kind, /*sve=*/false);
+    bench_kernel(run, kind, /*sve=*/true);
+  }
+  return 0;
+}

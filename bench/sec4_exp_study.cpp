@@ -10,10 +10,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "ookami/common/aligned.hpp"
 #include "ookami/common/rng.hpp"
-#include "ookami/common/timer.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/perf/loop_model.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
@@ -47,7 +48,7 @@ double model_cycles(LoopShape shape, PolyScheme scheme) {
 
 }  // namespace
 
-int main() {
+OOKAMI_BENCH(sec4_exp_study) {
   std::printf("Section IV — evaluation of the exponential function\n\n");
 
   // (1) Toolchain cycles/element on A64FX (and Intel on Skylake).
@@ -68,6 +69,11 @@ int main() {
   tc_table.add_row({"Fujitsu / FEXPA (A64FX)", "2.1", TextTable::num(fj, 2)});
   tc_table.add_row({"Intel SVML (Skylake)", "1.6", TextTable::num(intel, 2)});
   std::printf("%s\n", tc_table.str().c_str());
+  run.record("cycles-per-elem/gnu", gnu, "cyc/elem");
+  run.record("cycles-per-elem/arm", arm, "cyc/elem");
+  run.record("cycles-per-elem/cray", cray, "cyc/elem");
+  run.record("cycles-per-elem/fujitsu", fj, "cyc/elem");
+  run.record("cycles-per-elem/intel-skl", intel, "cyc/elem");
 
   // (2) Loop-shape progression of our FEXPA kernel.
   TextTable shape_table({"loop structure", "cycles/elem (paper)", "cycles/elem (model)"});
@@ -100,6 +106,8 @@ int main() {
   std::printf("  fast      : max %.1f ulp, mean %.3f ulp\n", fast.max_ulp, fast.mean_ulp);
   std::printf("  corrected : max %.1f ulp, mean %.3f ulp\n\n", corrected.max_ulp,
               corrected.mean_ulp);
+  run.record("ulp/fast", fast.max_ulp, "ulp");
+  run.record("ulp/corrected", corrected.max_ulp, "ulp");
 
   // (5) Host wall-clock of the emulated kernels (shape comparison only;
   // absolute numbers are emulation, not silicon).
@@ -110,8 +118,8 @@ int main() {
   for (auto [shape, name] : {std::pair{LoopShape::kVla, "vla"},
                              std::pair{LoopShape::kFixed, "fixed"},
                              std::pair{LoopShape::kUnrolled2, "unrolled"}}) {
-    const auto s = time_repeated(
-        [&] { vecmath::exp_array({x.data(), n}, {y.data(), n}, shape); }, 5);
+    const auto& s = run.time(std::string("host/exp-") + name,
+                             [&] { vecmath::exp_array({x.data(), n}, {y.data(), n}, shape); });
     std::printf("host emulation %-9s: %.1f ns/elem (median)\n", name,
                 s.median() / static_cast<double>(n) * 1e9);
   }
@@ -129,6 +137,6 @@ int main() {
       // the paper's ~6 ulp envelope.
       {"sec4/ulp", "fast-variant accuracy within ~6 ulp", 6.0, fast.max_ulp, 3.5},
   };
-  std::printf("\n%s", report::render_claims("Section IV", claims).c_str());
+  run.check("Section IV", claims);
   return 0;
 }

@@ -4,12 +4,13 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/toolchain/toolchain.hpp"
 
 using namespace ookami;
 using toolchain::Toolchain;
 
-int main() {
+OOKAMI_BENCH(table1_toolchains) {
   std::printf("Table I — compiler flags and derived codegen policies\n\n");
   TextTable t({"compiler", "version", "flags"});
   for (auto tc : {Toolchain::kFujitsu, Toolchain::kArm21, Toolchain::kCray, Toolchain::kGnu,
@@ -28,6 +29,16 @@ int main() {
                  p.recip == toolchain::DivSqrtCodegen::kNewton ? "Newton" : "blocking FDIV",
                  p.sqrt == toolchain::DivSqrtCodegen::kNewton ? "Newton" : "blocking FSQRT",
                  p.app.placement_cmg0 ? "all pages on CMG 0" : "first touch"});
+    // Archive the discrete policy axes as 0/1 series so policy-model
+    // changes show up in bench_diff.
+    run.record("policy/" + p.name + "/vector-math", p.has_vector_math ? 1.0 : 0.0, "flag",
+               harness::Direction::kHigherIsBetter);
+    run.record("policy/" + p.name + "/newton-recip",
+               p.recip == toolchain::DivSqrtCodegen::kNewton ? 1.0 : 0.0, "flag",
+               harness::Direction::kHigherIsBetter);
+    run.record("policy/" + p.name + "/newton-sqrt",
+               p.sqrt == toolchain::DivSqrtCodegen::kNewton ? 1.0 : 0.0, "flag",
+               harness::Direction::kHigherIsBetter);
   }
   std::printf("%s", pol.str().c_str());
   return 0;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/lulesh/lulesh.hpp"
 #include "ookami/report/report.hpp"
 #include "ookami/toolchain/toolchain.hpp"
@@ -14,7 +15,7 @@ using namespace ookami;
 using lulesh::Variant;
 using toolchain::Toolchain;
 
-int main() {
+OOKAMI_BENCH(table2_lulesh) {
   std::printf("Table II / Fig. 7 — LULESH timings\n\n");
 
   // Host verification runs of the executable proxy.
@@ -26,6 +27,8 @@ int main() {
     std::printf("  sedov %-4s executable: %s (energy drift %.2e, symmetry %.2e, %.3fs host)\n",
                 v == Variant::kBase ? "base" : "vect", out.verified ? "VERIFIED" : "FAILED",
                 out.total_energy_drift, out.symmetry_error, out.seconds);
+    run.record(std::string("host/sedov-") + (v == Variant::kBase ? "base" : "vect"), out.seconds,
+               "s");
   }
   std::printf("\n");
 
@@ -38,6 +41,10 @@ int main() {
                TextTable::num(perf::app_time(m, base, cc, mt_threads).seconds, 4),
                TextTable::num(perf::app_time(m, vect, cc, 1).seconds, 3),
                TextTable::num(perf::app_time(m, vect, cc, mt_threads).seconds, 4)});
+    run.record(name + "/base-st", perf::app_time(m, base, cc, 1).seconds, "s");
+    run.record(name + "/base-mt", perf::app_time(m, base, cc, mt_threads).seconds, "s");
+    run.record(name + "/vect-st", perf::app_time(m, vect, cc, 1).seconds, "s");
+    run.record(name + "/vect-mt", perf::app_time(m, vect, cc, mt_threads).seconds, "s");
     return perf::app_time(m, base, cc, 1).seconds;
   };
   double a64_gnu_base = 0.0;
@@ -67,6 +74,6 @@ int main() {
            perf::app_time(perf::a64fx(), base, gnu, 48).seconds,
        1.6},
   };
-  std::printf("%s", report::render_claims("Table II", claims).c_str());
+  run.check("Table II", claims);
   return 0;
 }

@@ -5,21 +5,27 @@
 #include <cstdio>
 
 #include "ookami/common/table.hpp"
+#include "ookami/harness/harness.hpp"
 #include "ookami/perf/machine.hpp"
 
 using namespace ookami;
 
-int main() {
+OOKAMI_BENCH(table3_systems) {
   std::printf("Table III — specifications of compared HPC systems\n\n");
   TextTable t({"System", "SIMD", "Cores/Node", "Base GHz", "Peak GF/s/core", "Peak GF/s/node"});
   const char* names[] = {"Ookami (A64FX)", "Stampede2 SKX (8160)", "Stampede2 KNL (7250)",
                          "Bridges-2 / Expanse (EPYC 7742)"};
   int i = 0;
   for (const auto* m : perf::table3_systems()) {
-    t.add_row({names[i++], std::to_string(m->simd_bits) + "-bit",
+    t.add_row({names[i], std::to_string(m->simd_bits) + "-bit",
                std::to_string(m->cores), TextTable::num(m->freq_ghz, 2),
                TextTable::num(m->peak_gflops_core(), 1),
                TextTable::num(m->peak_gflops_node(), 0)});
+    run.record(std::string(names[i]) + "/peak-gflops-core", m->peak_gflops_core(), "GF/s",
+               harness::Direction::kHigherIsBetter);
+    run.record(std::string(names[i]) + "/peak-gflops-node", m->peak_gflops_node(), "GF/s",
+               harness::Direction::kHigherIsBetter);
+    ++i;
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("(paper values: 57.6/2765, 44.8/2150, 44.8/3046, 36/4608 — asserted in tests)\n");

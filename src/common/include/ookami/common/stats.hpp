@@ -25,8 +25,18 @@ public:
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
-  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
-  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  /// Smallest/largest sample.  An empty accumulator returns quiet NaN —
+  /// a deliberate sentinel: 0.0 would look like a plausible measurement
+  /// if it leaked into a result file, while NaN propagates loudly and
+  /// serializes to null in the harness JSON emitter.  Callers that can
+  /// see an empty Summary must check count() first.
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
 
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   [[nodiscard]] double stddev() const {

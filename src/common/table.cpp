@@ -80,14 +80,17 @@ std::string BarChart::str() const {
   double maxv = 0.0;
   std::size_t label_w = 0;
   for (const auto& e : entries_) {
-    maxv = std::max(maxv, e.value);
+    if (std::isfinite(e.value)) maxv = std::max(maxv, e.value);
     label_w = std::max(label_w, e.label.size());
   }
-  if (maxv <= 0.0) maxv = 1.0;
+  // All-zero/empty/non-finite charts must not divide by 0 or feed NaN
+  // into lround; such entries render as zero-width bars.
+  if (!(maxv > 0.0)) maxv = 1.0;
   for (const auto& e : entries_) {
-    const int n = static_cast<int>(std::lround(e.value / maxv * width_));
+    const double scaled = e.value / maxv * width_;
+    const int n = std::isfinite(scaled) ? static_cast<int>(std::lround(scaled)) : 0;
     os << "  " << e.label << std::string(label_w - e.label.size(), ' ') << " |"
-       << std::string(static_cast<std::size_t>(std::max(n, 0)), '#') << " "
+       << std::string(static_cast<std::size_t>(std::clamp(n, 0, width_)), '#') << " "
        << TextTable::num(e.value, 3);
     if (!e.annotation.empty()) os << "  " << e.annotation;
     os << '\n';

@@ -93,12 +93,22 @@ double ThreadPool::parallel_reduce(
     std::size_t first, std::size_t last, double init,
     const std::function<double(std::size_t, std::size_t, unsigned)>& body,
     const std::function<double(double, double)>& combine) {
-  std::vector<double> partial(num_threads_, init);
+  // `init` must be folded exactly once no matter how many threads run,
+  // or a non-identity seed (nonzero sum offset, 2.0 for a product, ...)
+  // would be incorporated once per participating thread plus once in
+  // the final fold.  Partials therefore start "empty" and only chunks
+  // that actually executed contribute.
+  std::vector<double> partial(num_threads_, 0.0);
+  std::vector<unsigned char> touched(num_threads_, 0);
   parallel_for(first, last, [&](std::size_t b, std::size_t e, unsigned tid) {
-    partial[tid] = combine(partial[tid], body(b, e, tid));
+    const double v = body(b, e, tid);
+    partial[tid] = touched[tid] ? combine(partial[tid], v) : v;
+    touched[tid] = 1;
   });
   double acc = init;
-  for (double p : partial) acc = combine(acc, p);
+  for (unsigned t = 0; t < num_threads_; ++t) {
+    if (touched[t]) acc = combine(acc, partial[t]);
+  }
   return acc;
 }
 

@@ -1,0 +1,165 @@
+#include "ookami/harness/diff.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "ookami/common/table.hpp"
+
+namespace ookami::harness {
+
+namespace {
+
+struct SeriesView {
+  std::string name;
+  std::string unit;
+  bool lower_is_better = true;
+  bool has_metric = false;
+  double metric = 0.0;
+};
+
+std::vector<SeriesView> extract_series(const json::Value& doc, const std::string& metric) {
+  if (!doc.is_object()) throw std::runtime_error("bench document is not a JSON object");
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "ookami-bench-1") {
+    throw std::runtime_error("unsupported bench schema '" + schema + "' (want ookami-bench-1)");
+  }
+  const json::Value* series = doc.find("series");
+  if (!series || !series->is_array()) throw std::runtime_error("bench document has no series array");
+
+  std::vector<SeriesView> out;
+  out.reserve(series->size());
+  for (const auto& s : series->items()) {
+    SeriesView v;
+    v.name = s.string_or("name", "");
+    if (v.name.empty()) throw std::runtime_error("series entry without a name");
+    v.unit = s.string_or("unit", "");
+    v.lower_is_better = s.string_or("better", "lower") != "higher";
+    const json::Value* m = s.find(metric);
+    if (m && m->is_number() && std::isfinite(m->as_number())) {
+      v.has_metric = true;
+      v.metric = m->as_number();
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+const SeriesView* find_series(const std::vector<SeriesView>& vs, const std::string& name) {
+  for (const auto& v : vs) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+DiffReport diff(const json::Value& before, const json::Value& after, const DiffOptions& opts) {
+  if (opts.metric != "median" && opts.metric != "mean" && opts.metric != "min" &&
+      opts.metric != "max") {
+    throw std::runtime_error("unsupported diff metric '" + opts.metric + "'");
+  }
+  const auto bs = extract_series(before, opts.metric);
+  const auto as = extract_series(after, opts.metric);
+
+  DiffReport report;
+  report.before_name = before.string_or("name", "?");
+  report.after_name = after.string_or("name", "?");
+  report.metric = opts.metric;
+  report.threshold = opts.threshold;
+
+  for (const auto& b : bs) {
+    SeriesDelta d;
+    d.name = b.name;
+    d.unit = b.unit;
+    const SeriesView* a = find_series(as, b.name);
+    if (!a) {
+      d.status = SeriesDelta::Status::kMissingAfter;
+      if (opts.fail_on_missing) ++report.regressions;
+      report.deltas.push_back(std::move(d));
+      continue;
+    }
+    if (!b.has_metric || !a->has_metric) {
+      d.status = SeriesDelta::Status::kNoData;
+      report.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.before = b.metric;
+    d.after = a->metric;
+    d.ratio = b.metric != 0.0 ? a->metric / b.metric
+                              : (a->metric == 0.0 ? 1.0 : std::numeric_limits<double>::infinity());
+    const double worse = b.lower_is_better ? d.ratio : (d.ratio != 0.0 ? 1.0 / d.ratio
+                                                                       : std::numeric_limits<double>::infinity());
+    if (worse > 1.0 + opts.threshold) {
+      d.status = SeriesDelta::Status::kRegression;
+      ++report.regressions;
+    } else if (worse < 1.0 / (1.0 + opts.threshold)) {
+      d.status = SeriesDelta::Status::kImprovement;
+    }
+    report.deltas.push_back(std::move(d));
+  }
+  for (const auto& a : as) {
+    if (!find_series(bs, a.name)) {
+      SeriesDelta d;
+      d.name = a.name;
+      d.unit = a.unit;
+      d.after = a.metric;
+      d.status = SeriesDelta::Status::kMissingBefore;
+      report.deltas.push_back(std::move(d));
+    }
+  }
+  return report;
+}
+
+DiffReport diff_files(const std::string& before_path, const std::string& after_path,
+                      const DiffOptions& opts) {
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  return diff(json::Value::parse(slurp(before_path)), json::Value::parse(slurp(after_path)), opts);
+}
+
+std::string render_diff(const DiffReport& report) {
+  TextTable t({"series", "unit", "before", "after", "ratio", "status"});
+  auto status_name = [](SeriesDelta::Status s) -> std::string {
+    switch (s) {
+      case SeriesDelta::Status::kOk: return "ok";
+      case SeriesDelta::Status::kImprovement: return "IMPROVED";
+      case SeriesDelta::Status::kRegression: return "REGRESSED";
+      case SeriesDelta::Status::kMissingBefore: return "new";
+      case SeriesDelta::Status::kMissingAfter: return "MISSING";
+      case SeriesDelta::Status::kNoData: return "no-data";
+    }
+    return "?";
+  };
+  for (const auto& d : report.deltas) {
+    const bool compared = d.status == SeriesDelta::Status::kOk ||
+                          d.status == SeriesDelta::Status::kImprovement ||
+                          d.status == SeriesDelta::Status::kRegression;
+    t.add_row({d.name, d.unit, compared ? TextTable::num(d.before, 6) : "-",
+               compared || d.status == SeriesDelta::Status::kMissingBefore
+                   ? TextTable::num(d.after, 6)
+                   : "-",
+               compared ? TextTable::num(d.ratio, 3) : "-", status_name(d.status)});
+  }
+  std::ostringstream os;
+  os << "bench_diff: " << report.before_name << " -> " << report.after_name << " ("
+     << report.metric << ", threshold " << TextTable::num(report.threshold * 100.0, 1) << "%)\n"
+     << t.str();
+  if (report.regressions > 0) {
+    os << "VERDICT: " << report.regressions << " series regressed beyond "
+       << TextTable::num(report.threshold * 100.0, 1) << "%\n";
+  } else {
+    os << "VERDICT: no regression beyond " << TextTable::num(report.threshold * 100.0, 1)
+       << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace ookami::harness

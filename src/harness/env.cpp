@@ -1,0 +1,81 @@
+// Machine/build environment capture for the harness result files.
+// Build-configuration facts (flags, build type, git revision) arrive as
+// compile definitions from src/harness/CMakeLists.txt; runtime facts
+// come from uname/gethostname/hardware_concurrency.
+
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "ookami/harness/harness.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+#ifndef OOKAMI_CXX_FLAGS
+#define OOKAMI_CXX_FLAGS ""
+#endif
+#ifndef OOKAMI_BUILD_TYPE
+#define OOKAMI_BUILD_TYPE "unknown"
+#endif
+#ifndef OOKAMI_GIT_REV
+#define OOKAMI_GIT_REV "unknown"
+#endif
+
+namespace ookami::harness {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." + std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) +
+         "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+Environment capture_environment() {
+  Environment env;
+  env.compiler = compiler_id();
+  env.cxx_flags = OOKAMI_CXX_FLAGS;
+  env.build_type = OOKAMI_BUILD_TYPE;
+  env.git_rev = OOKAMI_GIT_REV;
+  env.timestamp_utc = iso8601_utc_now();
+  env.hardware_threads = std::thread::hardware_concurrency();
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {};
+  if (gethostname(host, sizeof host - 1) == 0) env.host = host;
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    env.os = std::string(uts.sysname) + " " + uts.release;
+    env.arch = uts.machine;
+  }
+#endif
+  if (env.host.empty()) env.host = "unknown";
+  if (env.os.empty()) env.os = "unknown";
+  if (env.arch.empty()) env.arch = "unknown";
+  return env;
+}
+
+}  // namespace ookami::harness

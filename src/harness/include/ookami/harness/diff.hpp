@@ -1,0 +1,63 @@
+#pragma once
+// Regression gate over two harness result files.  Compares matching
+// series by a chosen statistic (median by default), honouring each
+// series' better-is-lower/higher direction, and reports which series
+// regressed beyond a threshold.  tools/bench_diff is a thin CLI over
+// this; CI runs it between the committed baseline and a fresh run.
+
+#include <string>
+#include <vector>
+
+#include "ookami/harness/json.hpp"
+
+namespace ookami::harness {
+
+struct DiffOptions {
+  double threshold = 0.10;      ///< relative slack before a change counts as a regression
+  std::string metric = "median";  ///< "median", "mean", "min" or "max"
+  bool fail_on_missing = false;   ///< treat series absent from `after` as regressions
+};
+
+/// Per-series comparison outcome.
+struct SeriesDelta {
+  enum class Status {
+    kOk,            ///< within threshold
+    kImprovement,   ///< beyond threshold in the good direction
+    kRegression,    ///< beyond threshold in the bad direction
+    kMissingBefore, ///< series only present in `after` (new benchmark)
+    kMissingAfter,  ///< series only present in `before` (removed benchmark)
+    kNoData,        ///< one side has a null metric (empty Summary)
+  };
+
+  std::string name;
+  std::string unit;
+  double before = 0.0;
+  double after = 0.0;
+  double ratio = 0.0;  ///< after / before
+  Status status = Status::kOk;
+};
+
+struct DiffReport {
+  std::string before_name;
+  std::string after_name;
+  std::string metric;
+  double threshold = 0.0;
+  std::vector<SeriesDelta> deltas;
+  int regressions = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compare two parsed harness documents (schema "ookami-bench-1").
+/// Throws std::runtime_error on schema violations.
+DiffReport diff(const json::Value& before, const json::Value& after, const DiffOptions& opts);
+
+/// Load and compare two BENCH_*.json files.  Throws std::runtime_error
+/// on unreadable files and json::ParseError on malformed input.
+DiffReport diff_files(const std::string& before_path, const std::string& after_path,
+                      const DiffOptions& opts);
+
+/// Human-readable comparison table plus a verdict line.
+std::string render_diff(const DiffReport& report);
+
+}  // namespace ookami::harness

@@ -1,0 +1,341 @@
+#include "ookami/harness/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ookami::harness::json {
+
+Value& Value::set(const std::string& key, Value v) {
+  require(Type::kObject);
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  if (const Value* v = find(key)) return *v;
+  throw std::out_of_range("json::Value: no member '" + key + "'");
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string Value::string_or(const std::string& key, const std::string& fallback) const {
+  const Value* v = find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf; the harness treats null as "no measurement"
+    return;
+  }
+  // Integral values print without an exponent or trailing zeros.
+  if (d == static_cast<double>(static_cast<long long>(d)) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+  const std::string nl = indent > 0 ? "\n" : "";
+  const std::string pad = indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                                       static_cast<std::size_t>(depth + 1),
+                                                   ' ')
+                                     : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+                               ' ')
+                 : "";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: write_number(out, num_); break;
+    case Type::kString:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += i ? "," + nl : nl;
+        out += pad;
+        arr_[i].write(out, indent, depth + 1);
+      }
+      out += nl + close_pad + "]";
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        out += first ? nl : "," + nl;
+        first = false;
+        out += pad;
+        out += '"';
+        out += escape(k);
+        out += "\": ";
+        v.write(out, indent, depth + 1);
+      }
+      out += nl + close_pad + "}";
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value run() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const { throw ParseError(what, pos_); }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) throw ParseError("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) fail(std::string("bad literal, expected ") + word);
+    pos_ += len;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value(string());
+      case 't': literal("true", 4); return Value(true);
+      case 'f': literal("false", 5); return Value(false);
+      case 'n': literal("null", 4); return Value();
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.set(key, value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences; good enough for harness data).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    return Value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace ookami::harness::json

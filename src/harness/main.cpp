@@ -1,0 +1,8 @@
+// Common entry point for every bench binary: the OOKAMI_BENCH macro
+// registers bodies at static initialization and run_main drives them
+// under the shared repeat/emit protocol.  Linked via the
+// ookami_harness_main object library.
+
+#include "ookami/harness/harness.hpp"
+
+int main(int argc, char** argv) { return ookami::harness::run_main(argc, argv); }

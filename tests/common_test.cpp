@@ -91,6 +91,19 @@ TEST(Stats, MedianOdd) {
   EXPECT_DOUBLE_EQ(s.median(), 3.0);
 }
 
+// Regression: empty accumulators used to report min()/max() as 0.0 — a
+// plausible-looking measurement had it leaked into a result file.  The
+// sentinel is now quiet NaN, which serializes to null in the harness.
+TEST(Stats, EmptySummaryIsNaNSentinel) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
 TEST(ThreadPool, StaticChunksCoverRange) {
   for (unsigned nthreads : {1u, 3u, 7u}) {
     std::size_t covered = 0;
@@ -127,6 +140,64 @@ TEST(ThreadPool, ParallelReduceSum) {
   EXPECT_DOUBLE_EQ(total, 999.0 * 1000.0 / 2.0);
 }
 
+// Regression: a non-identity `init` used to seed every per-thread
+// partial AND the final fold, so it was incorporated num_threads + 1
+// times.  Integer-valued doubles keep the arithmetic exact, so the
+// result must be bit-identical for any thread count.
+TEST(ThreadPool, ParallelReduceFoldsInitExactlyOnce) {
+  constexpr double kInit = 100.0;
+  constexpr std::size_t kN = 1000;
+  const double expected = kInit + 999.0 * 1000.0 / 2.0;
+  for (unsigned nthreads = 1; nthreads <= 8; ++nthreads) {
+    ThreadPool pool(nthreads);
+    const double total = pool.parallel_reduce(
+        0, kN, kInit,
+        [](std::size_t b, std::size_t e, unsigned) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i) s += static_cast<double>(i);
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(total, expected) << "with " << nthreads << " threads";
+  }
+}
+
+TEST(ThreadPool, ParallelReduceProductWithNonIdentityInit) {
+  // product of 1..8 scaled by init=2: any double-counting of init is
+  // a power-of-two error, unmissable.
+  for (unsigned nthreads : {1u, 2u, 3u, 5u, 8u}) {
+    ThreadPool pool(nthreads);
+    const double total = pool.parallel_reduce(
+        1, 9, 2.0,
+        [](std::size_t b, std::size_t e, unsigned) {
+          double p = 1.0;
+          for (std::size_t i = b; i < e; ++i) p *= static_cast<double>(i);
+          return p;
+        },
+        [](double a, double b) { return a * b; });
+    EXPECT_EQ(total, 2.0 * 40320.0) << "with " << nthreads << " threads";
+  }
+}
+
+TEST(ThreadPool, ParallelReduceMoreThreadsThanWork) {
+  ThreadPool pool(8);
+  const double total = pool.parallel_reduce(
+      0, 3, 5.0,
+      [](std::size_t b, std::size_t e, unsigned) {
+        return static_cast<double>(e - b);
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(total, 8.0);  // init(5) + 3 elements, idle threads contribute nothing
+}
+
+TEST(ThreadPool, ParallelReduceEmptyRangeReturnsInit) {
+  ThreadPool pool(4);
+  const double total = pool.parallel_reduce(
+      7, 7, 42.0, [](std::size_t, std::size_t, unsigned) { return 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(total, 42.0);
+}
+
 TEST(ThreadPool, NestedParallelForDegradesToSerial) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
@@ -160,6 +231,37 @@ TEST(Table, CsvEscaping) {
   const std::string csv = t.csv();
   EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
   EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+}
+
+// Regression: all-zero (and non-finite) values must render zero-width
+// bars, not NaN-scaled garbage from the value/max division.
+TEST(Table, BarChartAllZeroRendersZeroWidthBars) {
+  BarChart chart("zeros", 40);
+  chart.add("a", 0.0);
+  chart.add("b", 0.0);
+  const std::string s = chart.str();
+  EXPECT_EQ(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("0.000"), std::string::npos);
+}
+
+TEST(Table, BarChartEmptyIsJustTitle) {
+  BarChart chart("nothing", 40);
+  EXPECT_EQ(chart.str(), "nothing\n");
+}
+
+TEST(Table, BarChartNonFiniteValuesRenderZeroWidth) {
+  BarChart chart("mixed", 10);
+  chart.add("nan", std::numeric_limits<double>::quiet_NaN());
+  chart.add("inf", std::numeric_limits<double>::infinity());
+  chart.add("ok", 5.0);
+  const std::string s = chart.str();
+  // Only the finite entry draws bars, scaled to the chart width.
+  EXPECT_NE(s.find(std::string(10, '#')), std::string::npos);
+  EXPECT_EQ(s.find(std::string(11, '#')), std::string::npos);
+  std::size_t bars = 0;
+  for (char c : s) bars += c == '#' ? 1 : 0;
+  EXPECT_EQ(bars, 10u);
 }
 
 TEST(Table, GroupedSeriesRoundTrip) {

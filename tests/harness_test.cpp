@@ -1,0 +1,353 @@
+// Unit tests for ookami::harness: the JSON emitter/parser, the Run
+// repeat protocol and result document, and the bench_diff regression
+// gate (including a full file round trip through the emitter).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "ookami/harness/diff.hpp"
+#include "ookami/harness/harness.hpp"
+#include "ookami/harness/json.hpp"
+
+namespace ookami::harness {
+namespace {
+
+// --------------------------------------------------------------- JSON
+
+TEST(Json, DumpParseRoundTrip) {
+  json::Value doc = json::Value::object();
+  doc.set("name", "bench");
+  doc.set("pi", 3.25);
+  doc.set("n", 42);
+  doc.set("ok", true);
+  doc.set("missing", json::Value());
+  json::Value arr = json::Value::array();
+  arr.push_back(1.0);
+  arr.push_back("two");
+  arr.push_back(false);
+  doc.set("items", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    const json::Value back = json::Value::parse(doc.dump(indent));
+    EXPECT_EQ(back.at("name").as_string(), "bench");
+    EXPECT_DOUBLE_EQ(back.at("pi").as_number(), 3.25);
+    EXPECT_DOUBLE_EQ(back.at("n").as_number(), 42.0);
+    EXPECT_TRUE(back.at("ok").as_bool());
+    EXPECT_TRUE(back.at("missing").is_null());
+    EXPECT_EQ(back.at("items").size(), 3u);
+    EXPECT_EQ(back.at("items").at(1).as_string(), "two");
+  }
+}
+
+TEST(Json, StringEscapes) {
+  json::Value v = json::Value::object();
+  v.set("s", "a\"b\\c\nd\te");
+  const json::Value back = json::Value::parse(v.dump(0));
+  EXPECT_EQ(back.at("s").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(json::Value::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  json::Value v = json::Value::object();
+  v.set("nan", std::numeric_limits<double>::quiet_NaN());
+  v.set("inf", std::numeric_limits<double>::infinity());
+  const json::Value back = json::Value::parse(v.dump(0));
+  EXPECT_TRUE(back.at("nan").is_null());
+  EXPECT_TRUE(back.at("inf").is_null());
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndReplaces) {
+  json::Value v = json::Value::object();
+  v.set("b", 1);
+  v.set("a", 2);
+  v.set("b", 3);  // replace in place, no duplicate
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_DOUBLE_EQ(v.at("b").as_number(), 3.0);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(json::Value::parse(""), json::ParseError);
+  EXPECT_THROW(json::Value::parse("{\"a\": 1,}"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("[1, 2] trailing"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("{\"a\" 1}"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("nul"), json::ParseError);
+  EXPECT_THROW(json::Value::parse("1.2.3"), json::ParseError);
+}
+
+TEST(Json, ParsesNestedDocuments) {
+  const auto v = json::Value::parse(R"({"a": {"b": [1, {"c": null}]}, "d": -1.5e2})");
+  EXPECT_TRUE(v.at("a").at("b").at(1).at("c").is_null());
+  EXPECT_DOUBLE_EQ(v.at("d").as_number(), -150.0);
+  EXPECT_DOUBLE_EQ(v.number_or("nope", 7.0), 7.0);
+  EXPECT_EQ(v.string_or("nope", "x"), "x");
+}
+
+// ------------------------------------------------------------ Options
+
+TEST(Options, FromCliParsesHarnessFlags) {
+  const char* argv[] = {"bench", "--repeats", "9", "--warmup=0", "--min-time", "0.5",
+                        "--out-dir", "/tmp/x", "--no-csv", "--strict-claims"};
+  const Cli cli(10, const_cast<char**>(argv));
+  const Options o = Options::from_cli(cli);
+  EXPECT_EQ(o.repeats, 9);
+  EXPECT_EQ(o.warmup, 0);
+  EXPECT_DOUBLE_EQ(o.min_time_s, 0.5);
+  EXPECT_EQ(o.out_dir, "/tmp/x");
+  EXPECT_TRUE(o.emit_json);
+  EXPECT_FALSE(o.emit_csv);
+  EXPECT_TRUE(o.strict_claims);
+}
+
+// ---------------------------------------------------------------- Run
+
+Options quiet_options() {
+  Options o;
+  o.repeats = 3;
+  o.warmup = 1;
+  o.emit_json = false;
+  o.emit_csv = false;
+  return o;
+}
+
+TEST(Run, TimedSeriesHonoursRepeatCount) {
+  harness::Run run("unit", quiet_options());
+  int calls = 0;
+  const Summary& s = run.time("work", [&] { ++calls; });
+  EXPECT_EQ(calls, 4);  // 1 warmup + 3 measured
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_GE(s.min(), 0.0);
+  ASSERT_EQ(run.series().size(), 1u);
+  EXPECT_EQ(run.series()[0].kind, "timed");
+}
+
+TEST(Run, MinTimeKeepsRepeatingUntilBudget) {
+  Options o = quiet_options();
+  o.repeats = 1;
+  o.min_time_s = 0.02;
+  o.warmup = 0;
+  harness::Run run("unit", o);
+  const Summary& s = run.time("spin", [] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 200000; ++i) x = x + 1.0;
+  });
+  double total = 0.0;
+  for (double v : s.samples()) total += v;
+  EXPECT_GE(total, 0.02);
+}
+
+TEST(Run, DocumentShapeAndEmptySummaryNulls) {
+  harness::Run run("unit", quiet_options());
+  run.record("model/x", 2.5, "s");
+  run.record("rate/y", 10.0, "GF/s", Direction::kHigherIsBetter);
+  run.record_summary("never-ran", Summary{}, "s");
+  run.note("class", "S");
+
+  const json::Value doc = run.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "ookami-bench-1");
+  EXPECT_EQ(doc.at("name").as_string(), "unit");
+  EXPECT_EQ(doc.at("notes").at("class").as_string(), "S");
+  EXPECT_FALSE(doc.at("environment").at("compiler").as_string().empty());
+  EXPECT_FALSE(doc.at("environment").at("timestamp_utc").as_string().empty());
+
+  const auto& series = doc.at("series");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.at(1).at("better").as_string(), "higher");
+  // The empty Summary must emit nulls, never a plausible 0.0.
+  const auto& empty = series.at(2);
+  EXPECT_DOUBLE_EQ(empty.at("count").as_number(), 0.0);
+  EXPECT_TRUE(empty.at("median").is_null());
+  EXPECT_TRUE(empty.at("min").is_null());
+  EXPECT_TRUE(empty.at("max").is_null());
+}
+
+TEST(Run, RecordGroupedFlattensPopulatedCells) {
+  GroupedSeries g("t", "app");
+  g.set("EP", "gnu", 1.0);
+  g.set("CG", "gnu", 2.0);
+  g.set("EP", "fujitsu", 3.0);
+  harness::Run run("unit", quiet_options());
+  run.record_grouped(g, "s");
+  ASSERT_EQ(run.series().size(), 3u);
+  EXPECT_EQ(run.series()[0].name, "EP/gnu");
+  EXPECT_EQ(run.series()[1].name, "EP/fujitsu");
+  EXPECT_EQ(run.series()[2].name, "CG/gnu");
+}
+
+TEST(Run, CsvListsEverySeries) {
+  harness::Run run("unit", quiet_options());
+  run.record("a", 1.0, "s");
+  run.record_summary("empty", Summary{}, "s");
+  const std::string csv = run.to_csv();
+  EXPECT_NE(csv.find("series,unit,kind,count"), std::string::npos);
+  EXPECT_NE(csv.find("\na,s,recorded,1,"), std::string::npos);
+  EXPECT_NE(csv.find("\nempty,s,timed,0,,"), std::string::npos);
+}
+
+// --------------------------------------------------------------- diff
+
+json::Value make_doc(const std::string& name,
+                     std::initializer_list<std::pair<const char*, double>> series,
+                     const char* better = "lower") {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "ookami-bench-1");
+  doc.set("name", name);
+  json::Value arr = json::Value::array();
+  for (const auto& [sname, median] : series) {
+    json::Value s = json::Value::object();
+    s.set("name", sname);
+    s.set("unit", "s");
+    s.set("kind", "recorded");
+    s.set("better", better);
+    s.set("count", 1);
+    s.set("median", median);
+    s.set("mean", median);
+    arr.push_back(std::move(s));
+  }
+  doc.set("series", std::move(arr));
+  return doc;
+}
+
+TEST(Diff, DetectsMedianRegressionBeyondThreshold) {
+  const auto before = make_doc("b", {{"k1", 1.0}, {"k2", 1.0}});
+  const auto after = make_doc("b", {{"k1", 1.2}, {"k2", 1.05}});  // +20%, +5%
+  DiffOptions opts;
+  opts.threshold = 0.10;
+  const DiffReport r = diff(before, after, opts);
+  EXPECT_EQ(r.regressions, 1);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.deltas.size(), 2u);
+  EXPECT_EQ(r.deltas[0].status, SeriesDelta::Status::kRegression);
+  EXPECT_EQ(r.deltas[1].status, SeriesDelta::Status::kOk);
+  EXPECT_NE(render_diff(r).find("REGRESSED"), std::string::npos);
+}
+
+TEST(Diff, HigherIsBetterFlipsTheGate) {
+  const auto before = make_doc("b", {{"gf", 10.0}}, "higher");
+  const auto faster = make_doc("b", {{"gf", 12.0}}, "higher");
+  const auto slower = make_doc("b", {{"gf", 8.0}}, "higher");
+  DiffOptions opts;
+  opts.threshold = 0.10;
+  EXPECT_EQ(diff(before, faster, opts).regressions, 0);
+  EXPECT_EQ(diff(before, faster, opts).deltas[0].status, SeriesDelta::Status::kImprovement);
+  EXPECT_EQ(diff(before, slower, opts).regressions, 1);
+}
+
+TEST(Diff, MissingAndNoDataSeries) {
+  const auto before = make_doc("b", {{"gone", 1.0}, {"null-after", 1.0}});
+  auto after = make_doc("b", {{"fresh", 1.0}});
+  {
+    json::Value s = json::Value::object();
+    s.set("name", "null-after");
+    s.set("unit", "s");
+    s.set("better", "lower");
+    s.set("count", 0);
+    s.set("median", json::Value());
+    json::Value arr = after.at("series");
+    arr.push_back(std::move(s));
+    after.set("series", std::move(arr));
+  }
+  DiffOptions opts;
+  const DiffReport r = diff(before, after, opts);
+  EXPECT_EQ(r.regressions, 0);  // neither missing nor no-data gates by default
+  ASSERT_EQ(r.deltas.size(), 3u);
+  EXPECT_EQ(r.deltas[0].status, SeriesDelta::Status::kMissingAfter);
+  EXPECT_EQ(r.deltas[1].status, SeriesDelta::Status::kNoData);
+  EXPECT_EQ(r.deltas[2].status, SeriesDelta::Status::kMissingBefore);
+
+  opts.fail_on_missing = true;
+  EXPECT_EQ(diff(before, after, opts).regressions, 1);
+}
+
+TEST(Diff, RejectsForeignSchemaAndBadMetric) {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "something-else");
+  const auto good = make_doc("b", {{"k", 1.0}});
+  EXPECT_THROW(diff(doc, good, DiffOptions{}), std::runtime_error);
+  DiffOptions opts;
+  opts.metric = "p99";
+  EXPECT_THROW(diff(good, good, opts), std::runtime_error);
+}
+
+// Round trip: a Run emitted through finish() is readable by diff_files
+// and an injected 20% median slowdown trips the gate.
+TEST(Diff, FileRoundTripWithInjectedRegression) {
+  const auto dir = std::filesystem::temp_directory_path() / "ookami_harness_test";
+  std::filesystem::remove_all(dir);
+
+  Options o;
+  o.repeats = 2;
+  o.out_dir = dir.string();
+  o.emit_csv = true;
+  harness::Run run("roundtrip", o);
+  run.record("model/a", 10.0, "s");
+  run.time("host/spin", [] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  });
+  EXPECT_EQ(run.finish(), 0);
+
+  const std::string base = (dir / "BENCH_roundtrip.json").string();
+  ASSERT_TRUE(std::filesystem::exists(base));
+  ASSERT_TRUE(std::filesystem::exists(dir / "BENCH_roundtrip.csv"));
+
+  // Re-emit with the recorded series 20% slower.
+  json::Value doc;
+  {
+    std::ifstream in(base);
+    std::ostringstream os;
+    os << in.rdbuf();
+    doc = json::Value::parse(os.str());
+  }
+  json::Value series = json::Value::array();
+  for (const auto& s : doc.at("series").items()) {
+    json::Value copy = s;
+    if (copy.at("name").as_string() == "model/a") {
+      copy.set("median", copy.at("median").as_number() * 1.2);
+    }
+    series.push_back(std::move(copy));
+  }
+  doc.set("series", std::move(series));
+  const std::string cand = (dir / "BENCH_candidate.json").string();
+  {
+    std::ofstream out(cand);
+    out << doc.dump();
+  }
+
+  DiffOptions opts;
+  opts.threshold = 0.10;
+  const DiffReport r = diff_files(base, cand, opts);
+  EXPECT_EQ(r.regressions, 1);
+
+  opts.threshold = 0.25;
+  EXPECT_TRUE(diff_files(base, cand, opts).ok());
+
+  EXPECT_THROW(diff_files(base, (dir / "nope.json").string(), opts), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------- registry
+
+TEST(Registry, MacroRegistrationIsVisible) {
+  const auto names = registered_benches();
+  bool found = false;
+  for (const auto& n : names) found = found || n == "harness_selftest";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ookami::harness
+
+// Outside the anonymous namespace: exercise the registration macro the
+// bench binaries use (the test main never invokes run_main, so the body
+// is compiled but not executed).
+OOKAMI_BENCH(harness_selftest) {
+  run.record("noop", 1.0);
+  return 0;
+}

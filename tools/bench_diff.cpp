@@ -1,0 +1,45 @@
+// bench_diff — the regression gate over two harness result files.
+//
+//   bench_diff BASELINE.json CANDIDATE.json [--threshold PCT]
+//              [--metric median|mean|min|max] [--fail-on-missing]
+//
+// Compares every series shared by the two BENCH_*.json documents by the
+// chosen statistic, honouring each series' recorded better-is-lower/
+// higher direction, and exits 1 when any series moved more than PCT
+// percent (default 10) in the bad direction.  Exit 2 signals a usage or
+// I/O problem so CI can tell "perf regressed" from "gate broke".
+
+#include <cstdio>
+#include <exception>
+
+#include "ookami/common/cli.hpp"
+#include "ookami/harness/diff.hpp"
+
+int main(int argc, char** argv) {
+  const ookami::Cli cli(argc, argv);
+  if (cli.has("help") || cli.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CANDIDATE.json [--threshold PCT] "
+                 "[--metric median|mean|min|max] [--fail-on-missing]\n",
+                 cli.program().c_str());
+    return cli.has("help") ? 0 : 2;
+  }
+
+  ookami::harness::DiffOptions opts;
+  opts.threshold = cli.get_double("threshold", 10.0) / 100.0;
+  opts.metric = cli.get("metric", "median");
+  opts.fail_on_missing = cli.has("fail-on-missing");
+  if (!(opts.threshold >= 0.0)) {
+    std::fprintf(stderr, "bench_diff: --threshold must be a non-negative percentage\n");
+    return 2;
+  }
+
+  try {
+    const auto report = ookami::harness::diff_files(cli.positional()[0], cli.positional()[1], opts);
+    std::printf("%s", ookami::harness::render_diff(report).c_str());
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}
