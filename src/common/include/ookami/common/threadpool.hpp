@@ -32,11 +32,17 @@ public:
   [[nodiscard]] unsigned size() const { return num_threads_; }
 
   /// Run `body(begin, end, thread_id)` over [first, last) split into one
-  /// contiguous chunk per thread (OpenMP schedule(static)).
+  /// contiguous chunk per thread (OpenMP schedule(static)).  If any
+  /// chunk throws, the first exception is rethrown on the calling
+  /// thread after all workers have joined (the remaining chunks still
+  /// run to completion, mirroring OpenMP's region-completes semantics).
+  /// When tracing is enabled the fork/join ("pool/parallel_for") and
+  /// each worker chunk ("pool/worker") are recorded as trace regions.
   void parallel_for(std::size_t first, std::size_t last,
                     const std::function<void(std::size_t, std::size_t, unsigned)>& body);
 
   /// parallel_for + per-thread partial results combined with `combine`.
+  /// Worker exceptions propagate like parallel_for's.
   double parallel_reduce(
       std::size_t first, std::size_t last, double init,
       const std::function<double(std::size_t, std::size_t, unsigned)>& body,

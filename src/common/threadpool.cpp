@@ -1,6 +1,9 @@
 #include "ookami/common/threadpool.hpp"
 
 #include <algorithm>
+#include <exception>
+
+#include "ookami/trace/trace.hpp"
 
 namespace ookami {
 
@@ -65,11 +68,27 @@ void ThreadPool::parallel_for(
     return;
   }
 
+  trace::Scope fork_scope("pool/parallel_for");
+
+  // A worker exception must not unwind through worker_loop (std::thread
+  // would terminate the process) and must not be swallowed: capture the
+  // first one here and rethrow it on the calling thread after the join,
+  // so traced kernels fail as cleanly as serial code.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
   const unsigned nthreads = static_cast<unsigned>(std::min<std::size_t>(num_threads_, n));
   std::function<void(unsigned)> task = [&, nthreads](unsigned tid) {
     if (tid >= nthreads) return;
     auto [b, e] = static_chunk(n, tid, nthreads);
-    if (b < e) body(first + b, first + e, tid);
+    if (b >= e) return;
+    trace::Scope worker_scope("pool/worker");
+    try {
+      body(first + b, first + e, tid);
+    } catch (...) {
+      std::lock_guard lk(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
   };
 
   {
@@ -87,6 +106,7 @@ void ThreadPool::parallel_for(
     active_ = false;
     task_ = nullptr;
   }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 double ThreadPool::parallel_reduce(

@@ -77,6 +77,7 @@ DiffReport diff(const json::Value& before, const json::Value& after, const DiffO
     const SeriesView* a = find_series(as, b.name);
     if (!a) {
       d.status = SeriesDelta::Status::kMissingAfter;
+      ++report.removed;
       if (opts.fail_on_missing) ++report.regressions;
       report.deltas.push_back(std::move(d));
       continue;
@@ -107,6 +108,7 @@ DiffReport diff(const json::Value& before, const json::Value& after, const DiffO
       d.unit = a.unit;
       d.after = a.metric;
       d.status = SeriesDelta::Status::kMissingBefore;
+      ++report.added;
       report.deltas.push_back(std::move(d));
     }
   }
@@ -132,8 +134,8 @@ std::string render_diff(const DiffReport& report) {
       case SeriesDelta::Status::kOk: return "ok";
       case SeriesDelta::Status::kImprovement: return "IMPROVED";
       case SeriesDelta::Status::kRegression: return "REGRESSED";
-      case SeriesDelta::Status::kMissingBefore: return "new";
-      case SeriesDelta::Status::kMissingAfter: return "MISSING";
+      case SeriesDelta::Status::kMissingBefore: return "added";
+      case SeriesDelta::Status::kMissingAfter: return "REMOVED";
       case SeriesDelta::Status::kNoData: return "no-data";
     }
     return "?";
@@ -152,6 +154,10 @@ std::string render_diff(const DiffReport& report) {
   os << "bench_diff: " << report.before_name << " -> " << report.after_name << " ("
      << report.metric << ", threshold " << TextTable::num(report.threshold * 100.0, 1) << "%)\n"
      << t.str();
+  if (report.added > 0 || report.removed > 0) {
+    os << "series: " << report.added << " added (informational), " << report.removed
+       << " removed (gate failure under --strict)\n";
+  }
   if (report.regressions > 0) {
     os << "VERDICT: " << report.regressions << " series regressed beyond "
        << TextTable::num(report.threshold * 100.0, 1) << "%\n";

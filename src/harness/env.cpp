@@ -4,6 +4,7 @@
 // come from uname/gethostname/hardware_concurrency.
 
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <thread>
 
@@ -57,6 +58,16 @@ std::string iso8601_utc_now() {
 
 Environment capture_environment() {
   Environment env;
+  // Runtime variables that change what a run measures.  Only set
+  // variables are archived; the harness separately records the
+  // effective trace on/off state in the environment JSON.
+  static const char* const kRelevantEnv[] = {
+      "OOKAMI_THREADS",  "OOKAMI_TRACE", "OMP_NUM_THREADS",
+      "OMP_PROC_BIND",   "OMP_PLACES",   "GOMP_CPU_AFFINITY",
+  };
+  for (const char* name : kRelevantEnv) {
+    if (const char* value = std::getenv(name)) env.runtime_env.emplace_back(name, value);
+  }
   env.compiler = compiler_id();
   env.cxx_flags = OOKAMI_CXX_FLAGS;
   env.build_type = OOKAMI_BUILD_TYPE;

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "ookami/common/timer.hpp"
+#include "ookami/harness/profile.hpp"
+#include "ookami/trace/export.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::harness {
 
@@ -19,6 +22,12 @@ Options Options::from_cli(const Cli& cli) {
   if (cli.has("no-csv")) o.emit_csv = false;
   if (cli.has("strict-claims")) o.strict_claims = true;
   if (cli.has("no-samples")) o.keep_samples = false;
+  // --trace or the OOKAMI_TRACE environment variable (which trace
+  // reads at load time) turns region tracing on.
+  if (cli.has("trace") || trace::enabled()) o.trace = true;
+  o.trace_top = static_cast<int>(cli.get_int("trace-top", o.trace_top));
+  o.trace_machine = cli.get("trace-machine", o.trace_machine);
+  if (o.trace_top < 1) o.trace_top = 1;
   if (o.repeats < 1) o.repeats = 1;
   if (o.warmup < 0) o.warmup = 0;
   if (o.max_repeats < 1) o.max_repeats = 1;
@@ -37,6 +46,12 @@ std::string Options::usage() {
          "  --no-csv          skip the BENCH_<name>.csv artifact\n"
          "  --no-samples      omit raw per-repeat samples from the JSON\n"
          "  --strict-claims   exit nonzero when a paper-claim check fails\n"
+         "  --trace           record OOKAMI_TRACE_SCOPE regions (also OOKAMI_TRACE=1):\n"
+         "                    embeds a per-region roofline profile in the JSON and\n"
+         "                    writes a Chrome trace to TRACE_<name>.json\n"
+         "  --trace-top N     rows in the printed trace summary (default 15)\n"
+         "  --trace-machine M roofline model for verdicts: a64fx (default),\n"
+         "                    skylake, knl or zen2\n"
          "  --filter SUBSTR   only run benches whose name contains SUBSTR\n"
          "  --list            print registered bench names and exit\n"
          "  --help            this message\n";
@@ -53,6 +68,11 @@ json::Value Environment::to_json() const {
   v.set("git_rev", git_rev);
   v.set("timestamp_utc", timestamp_utc);
   v.set("hardware_threads", static_cast<double>(hardware_threads));
+  if (!runtime_env.empty()) {
+    json::Value e = json::Value::object();
+    for (const auto& [k, val] : runtime_env) e.set(k, val);
+    v.set("env", std::move(e));
+  }
   return v;
 }
 
@@ -151,7 +171,14 @@ json::Value Run::to_json() const {
   json::Value doc = json::Value::object();
   doc.set("schema", "ookami-bench-1");
   doc.set("name", name_);
-  doc.set("environment", env_.to_json());
+  {
+    // The trace on/off state is part of the execution environment: a
+    // traced archive must be identifiable even when OOKAMI_TRACE was
+    // not set (e.g. --trace was used).
+    json::Value env = env_.to_json();
+    env.set("trace", opts_.trace);
+    doc.set("environment", std::move(env));
+  }
   {
     json::Value o = json::Value::object();
     o.set("repeats", opts_.repeats);
@@ -185,6 +212,7 @@ json::Value Run::to_json() const {
     doc.set("claims", std::move(arr));
     doc.set("claims_failed", claims_failed_);
   }
+  if (!profile_.is_null()) doc.set("profile", profile_);
   return doc;
 }
 
@@ -263,14 +291,27 @@ int run_main(int argc, char** argv) {
   }
   const Options opts = Options::from_cli(cli);
   const std::string filter = cli.get("filter", "");
+  if (opts.trace) trace::set_enabled(true);
 
   int status = 0;
   int executed = 0;
   for (const auto& r : registry()) {
     if (!filter.empty() && r.name.find(filter) == std::string::npos) continue;
     ++executed;
+    if (opts.trace) trace::clear();  // each bench gets its own trace
     Run run(r.name, opts);
     const int body = r.fn(run);
+    if (opts.trace) {
+      const trace::Report profile = collect_report(opts.trace_machine);
+      std::printf("\n%s", trace::render(profile, static_cast<std::size_t>(opts.trace_top)).c_str());
+      run.attach_profile(profile_to_json(profile));
+      const std::string trace_path = opts.out_dir + "/TRACE_" + r.name + ".json";
+      if (write_file(trace_path, trace::to_chrome_json(trace::collect()))) {
+        std::printf("harness: wrote %s (chrome://tracing)\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "harness: FAILED to write %s\n", trace_path.c_str());
+      }
+    }
     const int emit = run.finish();
     status = std::max({status, body, emit});
   }

@@ -15,7 +15,11 @@ namespace ookami::harness {
 struct DiffOptions {
   double threshold = 0.10;      ///< relative slack before a change counts as a regression
   std::string metric = "median";  ///< "median", "mean", "min" or "max"
-  bool fail_on_missing = false;   ///< treat series absent from `after` as regressions
+  /// Treat series absent from `after` (removed) as regressions.  Series
+  /// present only in `after` (added) are always informational — a new
+  /// benchmark is not a regression.  The CLI exposes this as --strict
+  /// (with --fail-on-missing kept as an alias).
+  bool fail_on_missing = false;
 };
 
 /// Per-series comparison outcome.
@@ -44,6 +48,8 @@ struct DiffReport {
   double threshold = 0.0;
   std::vector<SeriesDelta> deltas;
   int regressions = 0;
+  int added = 0;    ///< series only in `after` (informational)
+  int removed = 0;  ///< series only in `before` (gates under fail_on_missing)
 
   [[nodiscard]] bool ok() const { return regressions == 0; }
 };

@@ -50,6 +50,12 @@ struct Options {
   bool emit_csv = true;
   bool strict_claims = false;  ///< nonzero exit when a paper-claim check fails
   bool keep_samples = true;    ///< archive raw per-repeat samples in the JSON
+  /// Region tracing (--trace or OOKAMI_TRACE=1): record OOKAMI_TRACE_SCOPE
+  /// events during the bench, embed the aggregated profile in the result
+  /// JSON, and write a Chrome trace to TRACE_<name>.json.
+  bool trace = false;
+  int trace_top = 15;              ///< rows in the printed trace summary
+  std::string trace_machine = "a64fx";  ///< roofline model for verdicts
 
   /// Parse the standard harness flags; unknown options are ignored so
   /// benches can add their own.
@@ -69,6 +75,10 @@ struct Environment {
   std::string git_rev;
   std::string timestamp_utc;
   unsigned hardware_threads = 0;
+  /// Runtime environment variables that affect results (OOKAMI_THREADS,
+  /// OOKAMI_TRACE, OMP_*), captured so archived JSON identifies how a
+  /// run was configured; only variables actually set are recorded.
+  std::vector<std::pair<std::string, std::string>> runtime_env;
 
   [[nodiscard]] json::Value to_json() const;
 };
@@ -124,6 +134,10 @@ public:
   /// failures flip the exit code only under --strict-claims.
   void check(const std::string& title, const std::vector<report::ClaimCheck>& claims);
 
+  /// Attach an aggregated trace profile (see profile.hpp); emitted as
+  /// the additive "profile" block of the result JSON.
+  void attach_profile(json::Value profile) { profile_ = std::move(profile); }
+
   [[nodiscard]] const std::vector<Series>& series() const { return series_; }
   [[nodiscard]] int claims_failed() const { return claims_failed_; }
 
@@ -143,6 +157,7 @@ private:
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<report::ClaimCheck> claims_;
   int claims_failed_ = 0;
+  json::Value profile_;  ///< null until attach_profile()
 };
 
 /// A bench body: fills the Run, returns an exit status (0 = success).

@@ -1,0 +1,45 @@
+#pragma once
+// Bridge between the trace subsystem and the harness's JSON world:
+// converts a perf machine model into the trace aggregator's Roofline,
+// renders an aggregated Report as the result-file "profile" block, and
+// rebuilds trace events from a saved Chrome trace document (the
+// trace_summary read path).
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ookami/harness/json.hpp"
+#include "ookami/trace/aggregate.hpp"
+
+namespace ookami::harness {
+
+/// Roofline constants for a named machine model: "a64fx" (default),
+/// "skylake" (the Gold 6140 comparison system), "knl" or "zen2" — the
+/// Table III systems of src/perf/machine.cpp.  Throws
+/// std::invalid_argument for unknown names.
+trace::Roofline roofline_for(const std::string& machine);
+
+/// Collect + aggregate the currently recorded trace against `machine`'s
+/// roofline.  Call from a quiescent point (the harness calls it after
+/// the bench body returns).
+trace::Report collect_report(const std::string& machine);
+
+/// The additive "profile" block embedded in ookami-bench-1 documents:
+///   {"machine": ..., "peak_gflops": ..., "mem_bw_gbs": ...,
+///    "wall_s": ..., "events": N, "regions": [{"name", "count",
+///    "inclusive_s", "exclusive_s", "bytes", "flops", "intensity",
+///    "gflops", "gbs", "threads", "verdict"}, ...]}
+json::Value profile_to_json(const trace::Report& report);
+
+/// Rebuild events from a parsed Chrome trace document — either the
+/// {"traceEvents": [...]} object this kit writes or a bare event array.
+/// Only "ph":"X" (complete) events are read; nesting depth is taken
+/// from args.depth when present and reconstructed from interval
+/// containment otherwise, so foreign traces aggregate correctly too.
+/// `names` interns region names (Event::name points into it) and must
+/// outlive the returned vector.
+std::vector<trace::Event> events_from_chrome(const json::Value& doc,
+                                             std::deque<std::string>& names);
+
+}  // namespace ookami::harness

@@ -1,0 +1,134 @@
+#include "ookami/harness/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ookami/perf/machine.hpp"
+
+namespace ookami::harness {
+
+trace::Roofline roofline_for(const std::string& machine) {
+  const perf::MachineModel* m = nullptr;
+  if (machine == "a64fx") {
+    m = &perf::a64fx();
+  } else if (machine == "skylake") {
+    m = &perf::skylake_6140();
+  } else if (machine == "knl") {
+    m = &perf::knl_7250();
+  } else if (machine == "zen2") {
+    m = &perf::zen2_7742();
+  } else {
+    throw std::invalid_argument("unknown trace machine '" + machine +
+                                "' (want a64fx, skylake, knl or zen2)");
+  }
+  return trace::Roofline{machine, m->peak_gflops_core(), m->core_mem_bw_gbs};
+}
+
+trace::Report collect_report(const std::string& machine) {
+  return trace::aggregate(trace::collect(), roofline_for(machine), trace::dropped());
+}
+
+json::Value profile_to_json(const trace::Report& report) {
+  json::Value p = json::Value::object();
+  p.set("machine", report.roofline.machine);
+  p.set("peak_gflops", report.roofline.peak_gflops);
+  p.set("mem_bw_gbs", report.roofline.mem_bw_gbs);
+  p.set("wall_s", report.wall_s);
+  p.set("events", static_cast<double>(report.events));
+  if (report.dropped > 0) p.set("dropped", static_cast<double>(report.dropped));
+  json::Value regions = json::Value::array();
+  for (const auto& r : report.regions) {
+    json::Value v = json::Value::object();
+    v.set("name", r.name);
+    v.set("count", static_cast<double>(r.count));
+    v.set("inclusive_s", r.inclusive_s);
+    v.set("exclusive_s", r.exclusive_s);
+    v.set("min_s", r.min_s);
+    v.set("max_s", r.max_s);
+    v.set("threads", static_cast<double>(r.threads));
+    if (r.bytes > 0.0) v.set("bytes", r.bytes);
+    if (r.flops > 0.0) v.set("flops", r.flops);
+    if (r.intensity > 0.0) v.set("intensity", r.intensity);
+    if (r.flops > 0.0) v.set("gflops", r.gflops);
+    if (r.bytes > 0.0) v.set("gbs", r.gbs);
+    v.set("verdict", trace::bound_name(r.bound));
+    regions.push_back(std::move(v));
+  }
+  p.set("regions", std::move(regions));
+  return p;
+}
+
+std::vector<trace::Event> events_from_chrome(const json::Value& doc,
+                                             std::deque<std::string>& names) {
+  const json::Value* arr = nullptr;
+  if (doc.is_array()) {
+    arr = &doc;
+  } else if (doc.is_object()) {
+    arr = doc.find("traceEvents");
+  }
+  if (arr == nullptr || !arr->is_array()) {
+    throw std::runtime_error("not a Chrome trace document (no traceEvents array)");
+  }
+
+  struct Raw {
+    std::size_t name_idx;
+    double ts_us, dur_us, tid;
+    double depth;  // < 0: reconstruct from containment
+    double bytes, flops;
+  };
+  std::vector<Raw> raws;
+  raws.reserve(arr->size());
+  for (const auto& e : arr->items()) {
+    if (!e.is_object() || e.string_or("ph", "") != "X") continue;
+    Raw r;
+    names.push_back(e.string_or("name", "?"));
+    r.name_idx = names.size() - 1;
+    r.ts_us = e.number_or("ts", 0.0);
+    r.dur_us = e.number_or("dur", 0.0);
+    r.tid = e.number_or("tid", 0.0);
+    r.depth = -1.0;
+    r.bytes = 0.0;
+    r.flops = 0.0;
+    if (const json::Value* args = e.find("args"); args != nullptr && args->is_object()) {
+      r.depth = args->number_or("depth", -1.0);
+      r.bytes = args->number_or("bytes", 0.0);
+      r.flops = args->number_or("flops", 0.0);
+    }
+    raws.push_back(r);
+  }
+
+  // Containment reconstruction needs (tid, start asc, longest first).
+  std::stable_sort(raws.begin(), raws.end(), [](const Raw& a, const Raw& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;
+  });
+
+  std::vector<trace::Event> events;
+  events.reserve(raws.size());
+  std::vector<double> open_ends;  // per-tid stack of enclosing end times
+  double current_tid = raws.empty() ? 0.0 : raws.front().tid;
+  for (const Raw& r : raws) {
+    if (r.tid != current_tid) {
+      current_tid = r.tid;
+      open_ends.clear();
+    }
+    const double end_us = r.ts_us + r.dur_us;
+    while (!open_ends.empty() && open_ends.back() <= r.ts_us) open_ends.pop_back();
+    trace::Event ev;
+    ev.name = names[r.name_idx].c_str();
+    ev.start_ns = static_cast<std::uint64_t>(std::llround(r.ts_us * 1e3));
+    ev.end_ns = static_cast<std::uint64_t>(std::llround(end_us * 1e3));
+    ev.tid = static_cast<std::uint32_t>(r.tid);
+    ev.depth = r.depth >= 0.0 ? static_cast<std::int32_t>(r.depth)
+                              : static_cast<std::int32_t>(open_ends.size());
+    ev.bytes = r.bytes;
+    ev.flops = r.flops;
+    events.push_back(ev);
+    open_ends.push_back(end_us);
+  }
+  return events;
+}
+
+}  // namespace ookami::harness

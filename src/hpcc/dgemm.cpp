@@ -5,6 +5,7 @@
 #include "ookami/common/aligned.hpp"
 #include "ookami/common/rng.hpp"
 #include "ookami/hpcc/hpcc.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::hpcc {
 
@@ -62,6 +63,11 @@ void gemm_blocked(std::size_t n, const double* a, const double* b, double* c, Th
 
 void dgemm(GemmImpl impl, std::size_t n, const double* a, const double* b, double* c,
            ThreadPool& pool) {
+  // 2n^3 flop against 3n^2 matrix traffic: high arithmetic intensity,
+  // the compute-bound corner of the roofline (naive forgoes blocking
+  // and re-streams B, but the annotation records algorithmic traffic).
+  const double n_d = static_cast<double>(n);
+  OOKAMI_TRACE_SCOPE_IO("hpcc/dgemm", 3.0 * n_d * n_d * 8.0, 2.0 * n_d * n_d * n_d);
   switch (impl) {
     case GemmImpl::kNaive:
       gemm_naive(n, a, b, c);

@@ -2,6 +2,7 @@
 #include <stdexcept>
 
 #include "ookami/hpcc/hpcc.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::hpcc {
 
@@ -24,6 +25,12 @@ void bit_reverse_permute(std::vector<cplx>& a) {
 void fft(std::vector<cplx>& data, bool inverse, ThreadPool& pool) {
   const std::size_t n = data.size();
   if (!is_pow2(n)) throw std::invalid_argument("fft: length must be a power of two");
+  // 5 n log2(n) flop (the HPCC convention) against log2(n) passes over
+  // the 16-byte complex array: ~5/32 flop/B, firmly memory-bound — the
+  // paper's Figure 9 story.
+  const double n_d = static_cast<double>(n);
+  const double log2n = n_d > 1.0 ? std::log2(n_d) : 1.0;
+  OOKAMI_TRACE_SCOPE_IO("hpcc/fft", 2.0 * 16.0 * n_d * log2n, 5.0 * n_d * log2n);
   bit_reverse_permute(data);
 
   for (std::size_t len = 2; len <= n; len <<= 1) {

@@ -6,6 +6,7 @@
 #include "ookami/common/rng.hpp"
 #include "ookami/common/timer.hpp"
 #include "ookami/hpcc/hpcc.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::hpcc {
 
@@ -16,6 +17,10 @@ namespace {
 /// shaped bulk of HPL) is threaded over row bands.
 void lu_factor(std::size_t n, std::size_t nb, std::vector<double>& a,
                std::vector<std::size_t>& piv, ThreadPool& pool) {
+  // 2/3 n^3 flop over the n^2 matrix: DGEMM-class intensity.
+  const double n_d = static_cast<double>(n);
+  OOKAMI_TRACE_SCOPE_IO("hpcc/hpl_factor", n_d * n_d * 8.0 * 2.0,
+                        2.0 / 3.0 * n_d * n_d * n_d);
   piv.resize(n);
   for (std::size_t k0 = 0; k0 < n; k0 += nb) {
     const std::size_t ke = std::min(k0 + nb, n);
@@ -80,19 +85,25 @@ HplResult hpl_solve(std::size_t n, std::size_t nb, unsigned threads, std::uint64
   WallTimer timer;
   std::vector<std::size_t> piv;
   lu_factor(n, nb, a, piv, pool);
-  // Apply pivots to rhs, then forward/back substitution.
-  for (std::size_t k = 0; k < n; ++k) {
-    if (piv[k] != k) std::swap(x[k], x[piv[k]]);
-  }
-  for (std::size_t r = 1; r < n; ++r) {
-    double s = x[r];
-    for (std::size_t c = 0; c < r; ++c) s -= a[r * n + c] * x[c];
-    x[r] = s;
-  }
-  for (std::size_t r = n; r-- > 0;) {
-    double s = x[r];
-    for (std::size_t c = r + 1; c < n; ++c) s -= a[r * n + c] * x[c];
-    x[r] = s / a[r * n + r];
+  {
+    // Triangular solves stream the factored matrix once: 2 flop per
+    // 8 read bytes, memory-bound.
+    const double n_d = static_cast<double>(n);
+    OOKAMI_TRACE_SCOPE_IO("hpcc/hpl_solve", n_d * n_d * 8.0, 2.0 * n_d * n_d);
+    // Apply pivots to rhs, then forward/back substitution.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (piv[k] != k) std::swap(x[k], x[piv[k]]);
+    }
+    for (std::size_t r = 1; r < n; ++r) {
+      double s = x[r];
+      for (std::size_t c = 0; c < r; ++c) s -= a[r * n + c] * x[c];
+      x[r] = s;
+    }
+    for (std::size_t r = n; r-- > 0;) {
+      double s = x[r];
+      for (std::size_t c = r + 1; c < n; ++c) s -= a[r * n + c] * x[c];
+      x[r] = s / a[r * n + r];
+    }
   }
   const double seconds = timer.elapsed();
 

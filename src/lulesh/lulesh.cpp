@@ -6,6 +6,7 @@
 
 #include "ookami/common/timer.hpp"
 #include "ookami/sve/sve.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::lulesh {
 
@@ -222,7 +223,12 @@ Outcome run_sedov(const Options& opt) {
 
   const double e_total0 = kE0;  // all energy starts internal, zero kinetic
 
+  const double ne_d = static_cast<double>(s.nelem());
+
   auto geometry_pass = [&] {
+    // 24 position/velocity reads plus 27 geometry writes per element;
+    // 6 tets x ~60 flops each.
+    OOKAMI_TRACE_SCOPE_IO("lulesh/geometry", ne_d * 8.0 * 51.0, ne_d * 400.0);
     pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
       for (std::size_t q = b; q < e; ++q) {
         const int i = static_cast<int>(q) / (n * n);
@@ -241,28 +247,35 @@ Outcome run_sedov(const Options& opt) {
     geometry_pass();
 
     // EOS + artificial viscosity (the Table II Base/Vect distinction).
-    pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
-      if (opt.variant == Variant::kBase) {
-        eos_base(s, b, e);
-      } else {
-        eos_vect(s, b, e);
-      }
-    });
+    {
+      OOKAMI_TRACE_SCOPE_IO("lulesh/eos", ne_d * 8.0 * 7.0, ne_d * 40.0);
+      pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
+        if (opt.variant == Variant::kBase) {
+          eos_base(s, b, e);
+        } else {
+          eos_vect(s, b, e);
+        }
+      });
+    }
 
     // Stable time step (Courant condition on compressed elements).
-    const double dt = pool.parallel_reduce(
-        0, s.nelem(), 1e9,
-        [&](std::size_t b, std::size_t e, unsigned) {
-          double best = 1e9;
-          for (std::size_t q = b; q < e; ++q) {
-            const double rho = s.emass[q] / s.vol[q];
-            const double cs = std::sqrt(kGamma * std::max(s.press[q], 1e-300) / rho);
-            const double lq = std::cbrt(s.vol[q]);
-            best = std::min(best, kCfl * lq / (cs + std::fabs(s.dvdt[q] / s.vol[q] * lq) + 1e-30));
-          }
-          return best;
-        },
-        [](double a, double b) { return std::min(a, b); });
+    double dt = 0.0;
+    {
+      OOKAMI_TRACE_SCOPE("lulesh/dt_reduce");
+      dt = pool.parallel_reduce(
+          0, s.nelem(), 1e9,
+          [&](std::size_t b, std::size_t e, unsigned) {
+            double best = 1e9;
+            for (std::size_t q = b; q < e; ++q) {
+              const double rho = s.emass[q] / s.vol[q];
+              const double cs = std::sqrt(kGamma * std::max(s.press[q], 1e-300) / rho);
+              const double lq = std::cbrt(s.vol[q]);
+              best = std::min(best, kCfl * lq / (cs + std::fabs(s.dvdt[q] / s.vol[q] * lq) + 1e-30));
+            }
+            return best;
+          },
+          [](double a, double b) { return std::min(a, b); });
+    }
 
     // Nodal force gather + kinematics.  Node-centric accumulation over
     // the (up to 8) adjacent elements keeps the update race-free and
@@ -272,38 +285,46 @@ Outcome run_sedov(const Options& opt) {
     xd0 = s.xd;
     yd0 = s.yd;
     zd0 = s.zd;
-    pool.parallel_for(0, s.nnode(), [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t g = b; g < e; ++g) {
-        const int i = static_cast<int>(g) / (s.nn * s.nn);
-        const int j = (static_cast<int>(g) / s.nn) % s.nn;
-        const int k = static_cast<int>(g) % s.nn;
-        double fx = 0.0, fy = 0.0, fz = 0.0;
-        for (int c = 0; c < 8; ++c) {
-          const int ei = i - (c & 1), ej = j - ((c >> 1) & 1), ek = k - ((c >> 2) & 1);
-          if (ei < 0 || ej < 0 || ek < 0 || ei >= n || ej >= n || ek >= n) continue;
-          const std::size_t q = s.eidx(ei, ej, ek);
-          const double sig = s.press[q] + s.qvisc[q];
-          fx += sig * s.bx[q * 8 + static_cast<std::size_t>(c)];
-          fy += sig * s.by[q * 8 + static_cast<std::size_t>(c)];
-          fz += sig * s.bz[q * 8 + static_cast<std::size_t>(c)];
+    {
+      // Gather of up to 8 elements' (p+q, B) per node: indirection-heavy,
+      // plainly memory-bound.
+      OOKAMI_TRACE_SCOPE_IO("lulesh/kinematics",
+                            static_cast<double>(s.nnode()) * 8.0 * (8.0 * 4.0 + 10.0),
+                            static_cast<double>(s.nnode()) * 70.0);
+      pool.parallel_for(0, s.nnode(), [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t g = b; g < e; ++g) {
+          const int i = static_cast<int>(g) / (s.nn * s.nn);
+          const int j = (static_cast<int>(g) / s.nn) % s.nn;
+          const int k = static_cast<int>(g) % s.nn;
+          double fx = 0.0, fy = 0.0, fz = 0.0;
+          for (int c = 0; c < 8; ++c) {
+            const int ei = i - (c & 1), ej = j - ((c >> 1) & 1), ek = k - ((c >> 2) & 1);
+            if (ei < 0 || ej < 0 || ek < 0 || ei >= n || ej >= n || ek >= n) continue;
+            const std::size_t q = s.eidx(ei, ej, ek);
+            const double sig = s.press[q] + s.qvisc[q];
+            fx += sig * s.bx[q * 8 + static_cast<std::size_t>(c)];
+            fy += sig * s.by[q * 8 + static_cast<std::size_t>(c)];
+            fz += sig * s.bz[q * 8 + static_cast<std::size_t>(c)];
+          }
+          const double inv_m = 1.0 / s.nmass[g];
+          s.xd[g] += dt * fx * inv_m;
+          s.yd[g] += dt * fy * inv_m;
+          s.zd[g] += dt * fz * inv_m;
+          // Symmetry planes: zero normal velocity on i=0 / j=0 / k=0.
+          if (i == 0) s.xd[g] = 0.0;
+          if (j == 0) s.yd[g] = 0.0;
+          if (k == 0) s.zd[g] = 0.0;
+          s.x[g] += dt * s.xd[g];
+          s.y[g] += dt * s.yd[g];
+          s.z[g] += dt * s.zd[g];
         }
-        const double inv_m = 1.0 / s.nmass[g];
-        s.xd[g] += dt * fx * inv_m;
-        s.yd[g] += dt * fy * inv_m;
-        s.zd[g] += dt * fz * inv_m;
-        // Symmetry planes: zero normal velocity on i=0 / j=0 / k=0.
-        if (i == 0) s.xd[g] = 0.0;
-        if (j == 0) s.yd[g] = 0.0;
-        if (k == 0) s.zd[g] = 0.0;
-        s.x[g] += dt * s.xd[g];
-        s.y[g] += dt * s.yd[g];
-        s.z[g] += dt * s.zd[g];
-      }
-    });
+      });
+    }
 
     // Internal-energy update: dE = -(p+q) * grad(V) . v_mid * dt.  The
     // kinetic-energy gain per node is exactly F . v_mid * dt, so summing
     // the two conserves total energy to round-off.
+    OOKAMI_TRACE_SCOPE_IO("lulesh/energy", ne_d * 8.0 * (24.0 + 6.0 * 8.0), ne_d * 50.0);
     pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
       for (std::size_t q = b; q < e; ++q) {
         const int i = static_cast<int>(q) / (n * n);

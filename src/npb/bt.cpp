@@ -15,6 +15,7 @@
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/grid.hpp"
 #include "ookami/npb/npb.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::npb {
 
@@ -95,20 +96,30 @@ Result run_bt(Class cls, unsigned threads) {
 
   Field delta(spec.n);
 
+  const double pts_d = static_cast<double>(ni) * ni * ni;
+  static constexpr const char* kSweepName[3] = {"bt/x_solve", "bt/y_solve", "bt/z_solve"};
+
   WallTimer timer;
   for (int iter = 0; iter < spec.iterations; ++iter) {
     // Explicit residual into delta.
-    pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t l = b; l < e; ++l) {
-        const int j = 1 + static_cast<int>(l) / ni;
-        const int k = 1 + static_cast<int>(l) % ni;
-        for (int i = 1; i <= ni; ++i) delta.set(i, j, k, p.rhs(u, i, j, k));
-      }
-    });
+    {
+      // 7-point stencil over 5 components: ~8 field touches per point.
+      OOKAMI_TRACE_SCOPE_IO("bt/rhs", pts_d * kNc * 8.0 * 8.0, pts_d * 80.0);
+      pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t l = b; l < e; ++l) {
+          const int j = 1 + static_cast<int>(l) / ni;
+          const int k = 1 + static_cast<int>(l) % ni;
+          for (int i = 1; i <= ni; ++i) delta.set(i, j, k, p.rhs(u, i, j, k));
+        }
+      });
+    }
 
     // Three ADI sweeps: x, y, z.  Each sweep solves block-tridiagonal
     // lines of `delta` in place.
     for (int dir = 0; dir < 3; ++dir) {
+      // Block-Thomas works from cache-resident per-line workspace; the
+      // streamed traffic is reading and writing delta once per point.
+      OOKAMI_TRACE_SCOPE_IO(kSweepName[dir], pts_d * kNc * 8.0 * 2.0, pts_d * 500.0);
       pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
         std::vector<Mat5> r_line(static_cast<std::size_t>(ni));
         std::vector<Vec5> rhs(static_cast<std::size_t>(ni));
@@ -135,15 +146,18 @@ Result run_bt(Class cls, unsigned threads) {
     }
 
     // u += delta on the interior.
-    pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t l = b; l < e; ++l) {
-        const int j = 1 + static_cast<int>(l) / ni;
-        const int k = 1 + static_cast<int>(l) % ni;
-        for (int i = 1; i <= ni; ++i) {
-          for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += delta.at(i, j, k, m);
+    {
+      OOKAMI_TRACE_SCOPE_IO("bt/add", pts_d * kNc * 8.0 * 3.0, pts_d * kNc);
+      pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t l = b; l < e; ++l) {
+          const int j = 1 + static_cast<int>(l) / ni;
+          const int k = 1 + static_cast<int>(l) % ni;
+          for (int i = 1; i <= ni; ++i) {
+            for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += delta.at(i, j, k, m);
+          }
         }
-      }
-    });
+      });
+    }
   }
 
   Result res;

@@ -7,6 +7,7 @@
 
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/randdp.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::npb {
 
@@ -73,6 +74,7 @@ CgSpec cg_spec(Class cls) {
 }
 
 CsrMatrix cg_makea(int na, int nonzer, double shift) {
+  OOKAMI_TRACE_SCOPE("cg/makea");
   MakeaRng rng;
   (void)rng.next();  // the reference draws one zeta seed before makea
 
@@ -138,6 +140,11 @@ CsrMatrix cg_makea(int na, int nonzer, double shift) {
 
 void spmv(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>& y,
           ThreadPool& pool) {
+  // 2 flop per nonzero against 12 B (value + column index) of matrix
+  // traffic plus the dense y write: the classic ~1/6 flop/B CSR SpMV.
+  OOKAMI_TRACE_SCOPE_IO("cg/spmv",
+                        12.0 * static_cast<double>(a.nnz()) + 8.0 * static_cast<double>(a.n),
+                        2.0 * static_cast<double>(a.nnz()));
   pool.parallel_for(0, static_cast<std::size_t>(a.n), [&](std::size_t b, std::size_t e, unsigned) {
     for (std::size_t row = b; row < e; ++row) {
       double sum = 0.0;
@@ -153,6 +160,8 @@ void spmv(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>&
 namespace {
 
 double dot(const std::vector<double>& x, const std::vector<double>& y, ThreadPool& pool) {
+  OOKAMI_TRACE_SCOPE_IO("cg/dot", 16.0 * static_cast<double>(x.size()),
+                        2.0 * static_cast<double>(x.size()));
   return pool.parallel_reduce(
       0, x.size(), 0.0,
       [&](std::size_t b, std::size_t e, unsigned) {
@@ -166,6 +175,7 @@ double dot(const std::vector<double>& x, const std::vector<double>& y, ThreadPoo
 /// One NPB conj_grad call: approximately solve A z = x, return ||r||.
 double conj_grad(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>& z,
                  ThreadPool& pool) {
+  OOKAMI_TRACE_SCOPE("cg/conj_grad");
   const std::size_t n = x.size();
   std::vector<double> r = x;
   std::vector<double> p = r;

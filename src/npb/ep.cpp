@@ -6,6 +6,7 @@
 
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/randdp.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::npb {
 
@@ -49,6 +50,9 @@ double chunk_seed(double an, long long kk) {
 }  // namespace
 
 EpOutput ep_kernel(int m_exponent, unsigned threads) {
+  // No bytes annotation: the chunk buffer lives in cache, so EP is pure
+  // compute (NPB's 2^(m+1) operation-equivalents convention).
+  OOKAMI_TRACE_SCOPE_IO("ep/gaussian_pairs", 0.0, std::pow(2.0, m_exponent + 1));
   const long long nn = 1ll << (m_exponent - kMk);  // number of chunks
 
   // an = a^(2^(MK+1)) mod 2^46: the per-chunk stream stride.

@@ -16,6 +16,7 @@
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/grid.hpp"
 #include "ookami/npb/npb.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::npb {
 
@@ -63,72 +64,86 @@ Result run_lu(Class cls, unsigned threads) {
     }
   }
 
+  const double pts_d = static_cast<double>(ni) * ni * ni;
+
   WallTimer timer;
   for (int iter = 0; iter < spec.iterations; ++iter) {
     // Residual.
-    pool.parallel_for(0, static_cast<std::size_t>(ni) * ni,
-                      [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t l = b; l < e; ++l) {
-        const int j = 1 + static_cast<int>(l) / ni;
-        const int k = 1 + static_cast<int>(l) % ni;
-        for (int i = 1; i <= ni; ++i) delta.set(i, j, k, p.rhs(u, i, j, k));
-      }
-    });
-
-    // Lower sweep: (D + L) delta' = rhs, hyperplane by hyperplane.
-    for (int plane = plane_min; plane <= plane_max; ++plane) {
-      const auto& pts = planes[static_cast<std::size_t>(plane)];
-      pool.parallel_for(0, pts.size(), [&](std::size_t b, std::size_t e, unsigned) {
-        for (std::size_t q = b; q < e; ++q) {
-          const auto [i, j, k] = pts[q];
-          const Mat5 r = p.coupling(i, j, k);
-          Vec5 rhs = delta.get(i, j, k);
-          // Lower neighbours already hold updated values.
-          auto add_lower = [&](int a, int bb, int c) {
-            const Vec5 nb = mat5_apply(mat5_scale(r, sigma), delta.get(a, bb, c));
-            for (int m = 0; m < kNc; ++m) rhs[static_cast<std::size_t>(m)] += nb[static_cast<std::size_t>(m)];
-          };
-          if (i > 1) add_lower(i - 1, j, k);
-          if (j > 1) add_lower(i, j - 1, k);
-          if (k > 1) add_lower(i, j, k - 1);
-          const Mat5 diag = mat5_add(mat5_identity(), mat5_scale(r, 6.0 * sigma));
-          delta.set(i, j, k, mat5_solve(diag, rhs));
+    {
+      OOKAMI_TRACE_SCOPE_IO("lu/rhs", pts_d * kNc * 8.0 * 8.0, pts_d * 80.0);
+      pool.parallel_for(0, static_cast<std::size_t>(ni) * ni,
+                        [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t l = b; l < e; ++l) {
+          const int j = 1 + static_cast<int>(l) / ni;
+          const int k = 1 + static_cast<int>(l) % ni;
+          for (int i = 1; i <= ni; ++i) delta.set(i, j, k, p.rhs(u, i, j, k));
         }
       });
+    }
+
+    // Lower sweep: (D + L) delta' = rhs, hyperplane by hyperplane.
+    {
+      OOKAMI_TRACE_SCOPE_IO("lu/ssor_lower", pts_d * kNc * 8.0 * 5.0, pts_d * 400.0);
+      for (int plane = plane_min; plane <= plane_max; ++plane) {
+        const auto& pts = planes[static_cast<std::size_t>(plane)];
+        pool.parallel_for(0, pts.size(), [&](std::size_t b, std::size_t e, unsigned) {
+          for (std::size_t q = b; q < e; ++q) {
+            const auto [i, j, k] = pts[q];
+            const Mat5 r = p.coupling(i, j, k);
+            Vec5 rhs = delta.get(i, j, k);
+            // Lower neighbours already hold updated values.
+            auto add_lower = [&](int a, int bb, int c) {
+              const Vec5 nb = mat5_apply(mat5_scale(r, sigma), delta.get(a, bb, c));
+              for (int m = 0; m < kNc; ++m) rhs[static_cast<std::size_t>(m)] += nb[static_cast<std::size_t>(m)];
+            };
+            if (i > 1) add_lower(i - 1, j, k);
+            if (j > 1) add_lower(i, j - 1, k);
+            if (k > 1) add_lower(i, j, k - 1);
+            const Mat5 diag = mat5_add(mat5_identity(), mat5_scale(r, 6.0 * sigma));
+            delta.set(i, j, k, mat5_solve(diag, rhs));
+          }
+        });
+      }
     }
 
     // Upper sweep: (D + U) delta = D delta', reverse hyperplane order.
-    for (int plane = plane_max; plane >= plane_min; --plane) {
-      const auto& pts = planes[static_cast<std::size_t>(plane)];
-      pool.parallel_for(0, pts.size(), [&](std::size_t b, std::size_t e, unsigned) {
-        for (std::size_t q = b; q < e; ++q) {
-          const auto [i, j, k] = pts[q];
-          const Mat5 r = p.coupling(i, j, k);
-          const Mat5 diag = mat5_add(mat5_identity(), mat5_scale(r, 6.0 * sigma));
-          Vec5 rhs = mat5_apply(diag, delta.get(i, j, k));
-          auto add_upper = [&](int a, int bb, int c) {
-            const Vec5 nb = mat5_apply(mat5_scale(r, sigma), delta.get(a, bb, c));
-            for (int m = 0; m < kNc; ++m) rhs[static_cast<std::size_t>(m)] += nb[static_cast<std::size_t>(m)];
-          };
-          if (i < ni) add_upper(i + 1, j, k);
-          if (j < ni) add_upper(i, j + 1, k);
-          if (k < ni) add_upper(i, j, k + 1);
-          delta.set(i, j, k, mat5_solve(diag, rhs));
-        }
-      });
+    {
+      OOKAMI_TRACE_SCOPE_IO("lu/ssor_upper", pts_d * kNc * 8.0 * 5.0, pts_d * 400.0);
+      for (int plane = plane_max; plane >= plane_min; --plane) {
+        const auto& pts = planes[static_cast<std::size_t>(plane)];
+        pool.parallel_for(0, pts.size(), [&](std::size_t b, std::size_t e, unsigned) {
+          for (std::size_t q = b; q < e; ++q) {
+            const auto [i, j, k] = pts[q];
+            const Mat5 r = p.coupling(i, j, k);
+            const Mat5 diag = mat5_add(mat5_identity(), mat5_scale(r, 6.0 * sigma));
+            Vec5 rhs = mat5_apply(diag, delta.get(i, j, k));
+            auto add_upper = [&](int a, int bb, int c) {
+              const Vec5 nb = mat5_apply(mat5_scale(r, sigma), delta.get(a, bb, c));
+              for (int m = 0; m < kNc; ++m) rhs[static_cast<std::size_t>(m)] += nb[static_cast<std::size_t>(m)];
+            };
+            if (i < ni) add_upper(i + 1, j, k);
+            if (j < ni) add_upper(i, j + 1, k);
+            if (k < ni) add_upper(i, j, k + 1);
+            delta.set(i, j, k, mat5_solve(diag, rhs));
+          }
+        });
+      }
     }
 
     // u += omega * delta.
-    pool.parallel_for(0, static_cast<std::size_t>(ni) * ni,
-                      [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t l = b; l < e; ++l) {
-        const int j = 1 + static_cast<int>(l) / ni;
-        const int k = 1 + static_cast<int>(l) % ni;
-        for (int i = 1; i <= ni; ++i) {
-          for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += kOmega * delta.at(i, j, k, m);
+    {
+      OOKAMI_TRACE_SCOPE_IO("lu/add", pts_d * kNc * 8.0 * 3.0, pts_d * kNc * 2.0);
+      pool.parallel_for(0, static_cast<std::size_t>(ni) * ni,
+                        [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t l = b; l < e; ++l) {
+          const int j = 1 + static_cast<int>(l) / ni;
+          const int k = 1 + static_cast<int>(l) % ni;
+          for (int i = 1; i <= ni; ++i) {
+            for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += kOmega * delta.at(i, j, k, m);
+          }
         }
-      }
-    });
+      });
+    }
   }
 
   Result res;

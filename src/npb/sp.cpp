@@ -15,6 +15,7 @@
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/grid.hpp"
 #include "ookami/npb/npb.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::npb {
 
@@ -142,34 +143,45 @@ Result run_sp(Class cls, unsigned threads) {
   const auto lines = static_cast<std::size_t>(ni) * static_cast<std::size_t>(ni);
   Field delta(spec.n);
 
+  const double pts_d = static_cast<double>(ni) * ni * ni;
+  static constexpr const char* kSweepName[3] = {"sp/x_solve", "sp/y_solve", "sp/z_solve"};
+
   WallTimer timer;
   for (int iter = 0; iter < spec.iterations; ++iter) {
     // Explicit residual rhs = dt (R L4 u + f).
-    pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t l = b; l < e; ++l) {
-        const int j = 1 + static_cast<int>(l) / ni;
-        const int k = 1 + static_cast<int>(l) % ni;
-        for (int i = 1; i <= ni; ++i) {
-          Vec5 l4{};
-          for (int m = 0; m < kNc; ++m) {
-            l4[static_cast<std::size_t>(m)] =
-                l4_at([&](int a, int bb, int c) { return u_at(a, bb, c, m); }, i, j, k, ni,
-                      inv_h2);
+    {
+      // 13-point fourth-order stencil over 5 components plus the force
+      // read and the delta write.
+      OOKAMI_TRACE_SCOPE_IO("sp/rhs", pts_d * kNc * 8.0 * 15.0, pts_d * 200.0);
+      pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t l = b; l < e; ++l) {
+          const int j = 1 + static_cast<int>(l) / ni;
+          const int k = 1 + static_cast<int>(l) % ni;
+          for (int i = 1; i <= ni; ++i) {
+            Vec5 l4{};
+            for (int m = 0; m < kNc; ++m) {
+              l4[static_cast<std::size_t>(m)] =
+                  l4_at([&](int a, int bb, int c) { return u_at(a, bb, c, m); }, i, j, k, ni,
+                        inv_h2);
+            }
+            Vec5 r = mat5_apply(p.coupling(i, j, k), l4);
+            const Vec5 f = force.get(i, j, k);
+            for (int m = 0; m < kNc; ++m) {
+              r[static_cast<std::size_t>(m)] =
+                  p.dt * (r[static_cast<std::size_t>(m)] + f[static_cast<std::size_t>(m)]);
+            }
+            delta.set(i, j, k, r);
           }
-          Vec5 r = mat5_apply(p.coupling(i, j, k), l4);
-          const Vec5 f = force.get(i, j, k);
-          for (int m = 0; m < kNc; ++m) {
-            r[static_cast<std::size_t>(m)] =
-                p.dt * (r[static_cast<std::size_t>(m)] + f[static_cast<std::size_t>(m)]);
-          }
-          delta.set(i, j, k, r);
         }
-      }
-    });
+      });
+    }
 
     // Three scalar-pentadiagonal sweeps: for each direction, each line,
-    // each component independently.
+    // each component independently.  Scalar bands mean far less
+    // arithmetic per touched byte than BT's 5x5 blocks — the structural
+    // reason the paper finds SP memory-bound.
     for (int dir = 0; dir < 3; ++dir) {
+      OOKAMI_TRACE_SCOPE_IO(kSweepName[dir], pts_d * kNc * 8.0 * 2.0, pts_d * kNc * 15.0);
       pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
         std::vector<PentaRow> rows(static_cast<std::size_t>(ni));
         std::vector<double> rhs(static_cast<std::size_t>(ni));
@@ -200,15 +212,18 @@ Result run_sp(Class cls, unsigned threads) {
     }
 
     // u += delta.
-    pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t l = b; l < e; ++l) {
-        const int j = 1 + static_cast<int>(l) / ni;
-        const int k = 1 + static_cast<int>(l) % ni;
-        for (int i = 1; i <= ni; ++i) {
-          for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += delta.at(i, j, k, m);
+    {
+      OOKAMI_TRACE_SCOPE_IO("sp/add", pts_d * kNc * 8.0 * 3.0, pts_d * kNc);
+      pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t l = b; l < e; ++l) {
+          const int j = 1 + static_cast<int>(l) / ni;
+          const int k = 1 + static_cast<int>(l) % ni;
+          for (int i = 1; i <= ni; ++i) {
+            for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += delta.at(i, j, k, m);
+          }
         }
-      }
-    });
+      });
+    }
   }
 
   Result res;

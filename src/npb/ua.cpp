@@ -20,6 +20,7 @@
 
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/npb.hpp"
+#include "ookami/trace/trace.hpp"
 
 namespace ookami::npb {
 
@@ -281,7 +282,10 @@ Result run_ua(Class cls, unsigned threads) {
   for (int step = 0; step < spec.steps; ++step) {
     const double t = static_cast<double>(step) / spec.steps;
     const auto src = source_pos(t);
-    if (step % spec.adapt_every == 0) adapt(mesh, src, spec);
+    if (step % spec.adapt_every == 0) {
+      OOKAMI_TRACE_SCOPE("ua/adapt");
+      adapt(mesh, src, spec);
+    }
 
     const std::size_t n = mesh.size();
     touched_cells += n;
@@ -294,36 +298,44 @@ Result run_ua(Class cls, unsigned threads) {
     // private buffers then reduced (threads see irregular index lists —
     // the benchmark's characteristic access pattern).
     std::vector<std::vector<double>> partial(pool.size());
-    pool.parallel_for(0, n, [&](std::size_t b, std::size_t e, unsigned tid) {
-      auto& acc = partial[tid];
-      acc.assign(n, 0.0);
-      std::vector<int> nbrs;
-      for (std::size_t i = b; i < e; ++i) {
-        const Cell& c = cells[i];
-        const double wi = Mesh::width(c.key);
-        for (int dim = 0; dim < 3; ++dim) {
-          mesh.face_neighbors(c.key, dim, +1, nbrs);
-          for (int jn : nbrs) {
-            const Cell& nb = cells[static_cast<std::size_t>(jn)];
-            const double wj = Mesh::width(nb.key);
-            const double area = std::min(wi, wj) * std::min(wi, wj);
-            const double dist = 0.5 * (wi + wj);
-            const double f = area / dist * (nb.heat - c.heat);
-            acc[i] += f;
-            acc[static_cast<std::size_t>(jn)] -= f;
+    {
+      // Bytes: the irregular neighbour gathers touch each cell record and
+      // the per-thread accumulator; hash-map probes make this a lower
+      // bound, which is fine — UA is memory-bound either way.
+      OOKAMI_TRACE_SCOPE_IO("ua/flux_exchange", static_cast<double>(n) * (24.0 + 3.0 * 32.0),
+                            static_cast<double>(n) * 3.0 * 7.0);
+      pool.parallel_for(0, n, [&](std::size_t b, std::size_t e, unsigned tid) {
+        auto& acc = partial[tid];
+        acc.assign(n, 0.0);
+        std::vector<int> nbrs;
+        for (std::size_t i = b; i < e; ++i) {
+          const Cell& c = cells[i];
+          const double wi = Mesh::width(c.key);
+          for (int dim = 0; dim < 3; ++dim) {
+            mesh.face_neighbors(c.key, dim, +1, nbrs);
+            for (int jn : nbrs) {
+              const Cell& nb = cells[static_cast<std::size_t>(jn)];
+              const double wj = Mesh::width(nb.key);
+              const double area = std::min(wi, wj) * std::min(wi, wj);
+              const double dist = 0.5 * (wi + wj);
+              const double f = area / dist * (nb.heat - c.heat);
+              acc[i] += f;
+              acc[static_cast<std::size_t>(jn)] -= f;
+            }
           }
         }
-      }
-    });
-    pool.parallel_for(0, n, [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t i = b; i < e; ++i) {
-        double s = 0.0;
-        for (const auto& acc : partial) s += acc[i];
-        flux[i] = s;
-      }
-    });
+      });
+      pool.parallel_for(0, n, [&](std::size_t b, std::size_t e, unsigned) {
+        for (std::size_t i = b; i < e; ++i) {
+          double s = 0.0;
+          for (const auto& acc : partial) s += acc[i];
+          flux[i] = s;
+        }
+      });
+    }
 
     // Advance temperatures and inject the source.
+    OOKAMI_TRACE_SCOPE("ua/advance");
     double step_injected = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       Cell& c = cells[i];

@@ -1,0 +1,177 @@
+#include "ookami/trace/aggregate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ookami::trace {
+
+const char* bound_name(Bound b) {
+  switch (b) {
+    case Bound::kUnknown: return "unknown";
+    case Bound::kMemory: return "memory-bound";
+    case Bound::kCompute: return "compute-bound";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Accum {
+  RegionStats stats;
+  std::set<std::uint32_t> tids;
+};
+
+}  // namespace
+
+Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
+                 std::uint64_t dropped_events) {
+  Report report;
+  report.roofline = roofline;
+  report.events = events.size();
+  report.dropped = dropped_events;
+  if (events.empty()) return report;
+
+  // Canonical replay order per thread: by end time, children before
+  // parents at equal end (a child's destructor runs first, so live
+  // buffers already look like this; re-sorting makes parsed traces and
+  // arbitrary test input equally valid).
+  std::vector<const Event*> order;
+  order.reserve(events.size());
+  std::uint64_t t0 = events.front().start_ns, t1 = events.front().end_ns;
+  for (const Event& e : events) {
+    order.push_back(&e);
+    t0 = std::min(t0, e.start_ns);
+    t1 = std::max(t1, e.end_ns);
+  }
+  std::stable_sort(order.begin(), order.end(), [](const Event* a, const Event* b) {
+    if (a->tid != b->tid) return a->tid < b->tid;
+    if (a->end_ns != b->end_ns) return a->end_ns < b->end_ns;
+    return a->depth > b->depth;
+  });
+  report.wall_s = static_cast<double>(t1 - t0) * 1e-9;
+
+  std::map<std::string, Accum> by_name;
+  // child_time[d]: inclusive time of already-completed scopes at depth d
+  // awaiting their parent at depth d-1.  Reset per thread.
+  std::vector<double> child_time;
+  std::uint32_t current_tid = order.front()->tid;
+
+  for (const Event* e : order) {
+    if (e->tid != current_tid) {
+      current_tid = e->tid;
+      child_time.assign(child_time.size(), 0.0);
+    }
+    const auto d = static_cast<std::size_t>(e->depth < 0 ? 0 : e->depth);
+    if (child_time.size() < d + 2) child_time.resize(d + 2, 0.0);
+    const double dur = e->seconds();
+    // Negative exclusive time can only come from malformed input
+    // (overlapping "nested" intervals); clamp rather than propagate.
+    const double excl = std::max(0.0, dur - child_time[d + 1]);
+    child_time[d + 1] = 0.0;
+    child_time[d] += dur;
+
+    Accum& acc = by_name[e->name];
+    RegionStats& s = acc.stats;
+    if (s.count == 0) {
+      s.name = e->name;
+      s.min_s = dur;
+      s.max_s = dur;
+    }
+    ++s.count;
+    s.inclusive_s += dur;
+    s.exclusive_s += excl;
+    s.min_s = std::min(s.min_s, dur);
+    s.max_s = std::max(s.max_s, dur);
+    s.bytes += e->bytes;
+    s.flops += e->flops;
+    acc.tids.insert(e->tid);
+  }
+
+  report.regions.reserve(by_name.size());
+  for (auto& [name, acc] : by_name) {
+    RegionStats& s = acc.stats;
+    s.threads = static_cast<unsigned>(acc.tids.size());
+    if (s.exclusive_s > 0.0) {
+      s.gflops = s.flops / 1e9 / s.exclusive_s;
+      s.gbs = s.bytes / 1e9 / s.exclusive_s;
+    }
+    if (s.bytes > 0.0 && s.flops > 0.0) {
+      s.intensity = s.flops / s.bytes;
+      s.bound = s.intensity < roofline.balance() ? Bound::kMemory : Bound::kCompute;
+    } else if (s.bytes > 0.0) {
+      s.bound = Bound::kMemory;
+    } else if (s.flops > 0.0) {
+      s.bound = Bound::kCompute;
+    }
+    report.regions.push_back(std::move(s));
+  }
+  std::sort(report.regions.begin(), report.regions.end(),
+            [](const RegionStats& a, const RegionStats& b) {
+              return a.exclusive_s != b.exclusive_s ? a.exclusive_s > b.exclusive_s
+                                                    : a.name < b.name;
+            });
+  return report;
+}
+
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render(const Report& report, std::size_t top_n) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "trace: %llu events, %.6f s wall, roofline %s (%.1f GF/s, %.1f GB/s, balance "
+                "%.2f flop/B)\n",
+                static_cast<unsigned long long>(report.events), report.wall_s,
+                report.roofline.machine.c_str(), report.roofline.peak_gflops,
+                report.roofline.mem_bw_gbs, report.roofline.balance());
+  out += line;
+  if (report.dropped > 0) {
+    std::snprintf(line, sizeof line, "trace: WARNING %llu events dropped (buffer cap)\n",
+                  static_cast<unsigned long long>(report.dropped));
+    out += line;
+  }
+
+  // Column widths: region names drive the first column.
+  std::size_t name_w = 6;
+  const std::size_t rows =
+      top_n == 0 ? report.regions.size() : std::min(top_n, report.regions.size());
+  for (std::size_t i = 0; i < rows; ++i) name_w = std::max(name_w, report.regions[i].name.size());
+
+  std::snprintf(line, sizeof line, "%-*s %8s %12s %12s %8s %9s %9s %8s %s\n",
+                static_cast<int>(name_w), "region", "calls", "excl(s)", "incl(s)", "thr",
+                "GF/s", "GB/s", "flop/B", "verdict");
+  out += line;
+  out.append(name_w + 84, '-');
+  out += '\n';
+  for (std::size_t i = 0; i < rows; ++i) {
+    const RegionStats& s = report.regions[i];
+    std::snprintf(line, sizeof line, "%-*s %8llu %12s %12s %8u %9s %9s %8s %s\n",
+                  static_cast<int>(name_w), s.name.c_str(),
+                  static_cast<unsigned long long>(s.count), fmt("%.6f", s.exclusive_s).c_str(),
+                  fmt("%.6f", s.inclusive_s).c_str(), s.threads,
+                  s.flops > 0.0 ? fmt("%.2f", s.gflops).c_str() : "-",
+                  s.bytes > 0.0 ? fmt("%.2f", s.gbs).c_str() : "-",
+                  s.intensity > 0.0 ? fmt("%.3f", s.intensity).c_str() : "-",
+                  bound_name(s.bound));
+    out += line;
+  }
+  if (rows < report.regions.size()) {
+    std::snprintf(line, sizeof line, "... %zu more region(s) below the top %zu\n",
+                  report.regions.size() - rows, rows);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ookami::trace

@@ -1,0 +1,83 @@
+#pragma once
+// Trace aggregation: per-region call counts, inclusive/exclusive wall
+// time, and a roofline "bound by memory or compute" verdict derived
+// from the bytes/flops annotations plus a machine's peak numbers.
+//
+// Exclusive time is the attribution metric (a parent region is not
+// charged for its children), computed per thread by replaying the
+// properly nested scope structure.  The roofline side deliberately
+// takes a tiny `Roofline` struct rather than ookami::perf's full
+// MachineModel so this library stays below ookami_common in the
+// dependency order; harness/profile.cpp converts a MachineModel into a
+// Roofline (cf. src/perf/machine.hpp for where the constants come
+// from).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ookami/trace/trace.hpp"
+
+namespace ookami::trace {
+
+/// The two peak numbers a roofline verdict needs.
+struct Roofline {
+  std::string machine;          ///< label for reports ("a64fx", ...)
+  double peak_gflops = 0.0;     ///< per-core double-precision peak
+  double mem_bw_gbs = 0.0;      ///< single-core sustainable memory bandwidth
+
+  /// Machine balance in flop/byte: regions with lower arithmetic
+  /// intensity are bandwidth-limited.
+  [[nodiscard]] double balance() const {
+    return mem_bw_gbs > 0.0 ? peak_gflops / mem_bw_gbs : 0.0;
+  }
+};
+
+enum class Bound {
+  kUnknown,  ///< region carries no bytes/flops annotations
+  kMemory,   ///< arithmetic intensity below the machine balance
+  kCompute,  ///< at or above the machine balance
+};
+
+const char* bound_name(Bound b);
+
+/// Aggregated statistics of one region name.
+struct RegionStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double inclusive_s = 0.0;  ///< sum of region durations
+  double exclusive_s = 0.0;  ///< inclusive minus time spent in child regions
+  double min_s = 0.0;        ///< fastest single instance
+  double max_s = 0.0;        ///< slowest single instance
+  double bytes = 0.0;        ///< summed annotations
+  double flops = 0.0;
+  unsigned threads = 0;      ///< distinct threads that recorded the region
+
+  // Roofline attribution (derived from annotations + exclusive time).
+  double intensity = 0.0;    ///< flop/byte; 0 when unannotated
+  double gflops = 0.0;       ///< achieved, charged to exclusive time
+  double gbs = 0.0;          ///< achieved bandwidth, charged to exclusive time
+  Bound bound = Bound::kUnknown;
+};
+
+/// A full aggregated profile.
+struct Report {
+  Roofline roofline;
+  std::vector<RegionStats> regions;  ///< sorted by exclusive time, descending
+  double wall_s = 0.0;               ///< max(end) - min(start) over all events
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Aggregate raw events into a Report.  Events may arrive in any order;
+/// they are re-sorted into the canonical per-thread (end asc, depth
+/// desc) order the exclusive-time replay needs, so both live
+/// collect() output and events re-parsed from a Chrome trace work.
+Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
+                 std::uint64_t dropped_events = 0);
+
+/// Plain-text region table (the `trace_summary` payload).  `top_n` = 0
+/// prints every region.
+std::string render(const Report& report, std::size_t top_n = 0);
+
+}  // namespace ookami::trace

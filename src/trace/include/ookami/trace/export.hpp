@@ -1,0 +1,25 @@
+#pragma once
+// Trace exporters.  Chrome trace-event JSON (loadable in
+// chrome://tracing / Perfetto) is produced here with a self-contained
+// writer so the trace library stays dependency-free; the harness embeds
+// the aggregated profile into its own result JSON separately (see
+// src/harness/profile.cpp).
+
+#include <string>
+#include <vector>
+
+#include "ookami/trace/trace.hpp"
+
+namespace ookami::trace {
+
+/// Serialize events as a Chrome trace-event document:
+///   {"traceEvents": [{"name": ..., "cat": "ookami", "ph": "X",
+///     "ts": <us>, "dur": <us>, "pid": 1, "tid": <tid>,
+///     "args": {"depth": d, "bytes": b, "flops": f}}, ...],
+///    "displayTimeUnit": "ms"}
+/// Timestamps are microseconds (Chrome's unit) since the trace epoch.
+/// The depth/bytes/flops args let trace_summary re-aggregate a saved
+/// trace without loss.
+std::string to_chrome_json(const std::vector<Event>& events);
+
+}  // namespace ookami::trace

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "ookami/common/aligned.hpp"
 #include "ookami/common/cli.hpp"
@@ -214,6 +215,61 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   bool called = false;
   pool.parallel_for(5, 5, [&](std::size_t, std::size_t, unsigned) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForRethrowsWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t b, std::size_t, unsigned) {
+                          if (b == 0) throw std::runtime_error("worker failed");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionOnly) {
+  // Every worker throws; exactly one exception must reach the caller and
+  // its message must be one the workers actually produced.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 100, [](std::size_t, std::size_t, unsigned t) {
+      throw std::runtime_error("worker " + std::to_string(t));
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("worker ", 0), 0u);
+  }
+}
+
+TEST(ThreadPool, ParallelReduceRethrowsWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_reduce(
+          0, 100, 0.0,
+          [](std::size_t b, std::size_t, unsigned) -> double {
+            if (b == 0) throw std::domain_error("reduce failed");
+            return 1.0;
+          },
+          [](double a, double b) { return a + b; }),
+      std::domain_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [](std::size_t, std::size_t, unsigned) {
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 64, [&](std::size_t b, std::size_t e, unsigned) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 64);
+  const double total = pool.parallel_reduce(
+      0, 10, 0.0, [](std::size_t b, std::size_t e, unsigned) { return double(e - b); },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(total, 10.0);
 }
 
 TEST(Table, AlignedRendering) {

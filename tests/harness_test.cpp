@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -260,9 +261,45 @@ TEST(Diff, MissingAndNoDataSeries) {
   EXPECT_EQ(r.deltas[0].status, SeriesDelta::Status::kMissingAfter);
   EXPECT_EQ(r.deltas[1].status, SeriesDelta::Status::kNoData);
   EXPECT_EQ(r.deltas[2].status, SeriesDelta::Status::kMissingBefore);
+  EXPECT_EQ(r.added, 1);
+  EXPECT_EQ(r.removed, 1);
+  const std::string rendered = render_diff(r);
+  EXPECT_NE(rendered.find("added"), std::string::npos);
+  EXPECT_NE(rendered.find("REMOVED"), std::string::npos);
+  EXPECT_NE(rendered.find("1 added (informational), 1 removed"), std::string::npos);
 
   opts.fail_on_missing = true;
   EXPECT_EQ(diff(before, after, opts).regressions, 1);
+}
+
+TEST(Environment, CapturesRelevantRuntimeEnv) {
+  ::setenv("OOKAMI_THREADS", "8", 1);
+  ::setenv("OOKAMI_TRACE", "1", 1);  // recorded only; does not toggle tracing mid-run
+  const Environment env = capture_environment();
+  auto lookup = [&env](const std::string& key) -> const std::string* {
+    for (const auto& kv : env.runtime_env) {
+      if (kv.first == key) return &kv.second;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(lookup("OOKAMI_THREADS"), nullptr);
+  EXPECT_EQ(*lookup("OOKAMI_THREADS"), "8");
+  ASSERT_NE(lookup("OOKAMI_TRACE"), nullptr);
+  EXPECT_EQ(*lookup("OOKAMI_TRACE"), "1");
+
+  const json::Value j = env.to_json();
+  const json::Value* e = j.find("env");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->at("OOKAMI_THREADS").as_string(), "8");
+  EXPECT_EQ(e->at("OOKAMI_TRACE").as_string(), "1");
+
+  ::unsetenv("OOKAMI_THREADS");
+  ::unsetenv("OOKAMI_TRACE");
+  const Environment env2 = capture_environment();
+  for (const auto& kv : env2.runtime_env) {
+    EXPECT_NE(kv.first, "OOKAMI_THREADS");
+    EXPECT_NE(kv.first, "OOKAMI_TRACE");
+  }
 }
 
 TEST(Diff, RejectsForeignSchemaAndBadMetric) {

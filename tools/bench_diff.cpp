@@ -1,13 +1,16 @@
 // bench_diff — the regression gate over two harness result files.
 //
 //   bench_diff BASELINE.json CANDIDATE.json [--threshold PCT]
-//              [--metric median|mean|min|max] [--fail-on-missing]
+//              [--metric median|mean|min|max] [--strict]
 //
 // Compares every series shared by the two BENCH_*.json documents by the
 // chosen statistic, honouring each series' recorded better-is-lower/
 // higher direction, and exits 1 when any series moved more than PCT
-// percent (default 10) in the bad direction.  Exit 2 signals a usage or
-// I/O problem so CI can tell "perf regressed" from "gate broke".
+// percent (default 10) in the bad direction.  Series present in only
+// one file are reported: added series are informational, removed series
+// become gate failures under --strict (--fail-on-missing is an alias).
+// Exit 2 signals a usage or I/O problem so CI can tell "perf regressed"
+// from "gate broke".
 
 #include <cstdio>
 #include <exception>
@@ -20,7 +23,7 @@ int main(int argc, char** argv) {
   if (cli.has("help") || cli.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: %s BASELINE.json CANDIDATE.json [--threshold PCT] "
-                 "[--metric median|mean|min|max] [--fail-on-missing]\n",
+                 "[--metric median|mean|min|max] [--strict]\n",
                  cli.program().c_str());
     return cli.has("help") ? 0 : 2;
   }
@@ -28,7 +31,7 @@ int main(int argc, char** argv) {
   ookami::harness::DiffOptions opts;
   opts.threshold = cli.get_double("threshold", 10.0) / 100.0;
   opts.metric = cli.get("metric", "median");
-  opts.fail_on_missing = cli.has("fail-on-missing");
+  opts.fail_on_missing = cli.has("strict") || cli.has("fail-on-missing");
   if (!(opts.threshold >= 0.0)) {
     std::fprintf(stderr, "bench_diff: --threshold must be a non-negative percentage\n");
     return 2;

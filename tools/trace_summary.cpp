@@ -1,0 +1,59 @@
+// trace_summary — per-region roofline report over a saved trace.
+//
+//   trace_summary TRACE.json [--top N] [--machine a64fx|skylake|knl|zen2]
+//
+// Reads a Chrome trace-event document (the TRACE_<bench>.json files the
+// harness writes under --trace, or any file with "ph":"X" complete
+// events), rebuilds the region nesting, and prints the aggregated
+// per-region table: call counts, inclusive/exclusive wall time, and —
+// where regions carry bytes/flops annotations — achieved GF/s, GB/s,
+// arithmetic intensity and the memory-/compute-bound verdict against
+// the chosen machine's roofline.  Exit 2 signals a usage/input problem.
+
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "ookami/common/cli.hpp"
+#include "ookami/harness/json.hpp"
+#include "ookami/harness/profile.hpp"
+#include "ookami/trace/aggregate.hpp"
+
+int main(int argc, char** argv) {
+  const ookami::Cli cli(argc, argv);
+  if (cli.has("help") || cli.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: %s TRACE.json [--top N] [--machine a64fx|skylake|knl|zen2]\n"
+                 "  TRACE.json  a Chrome trace-event file (harness TRACE_<bench>.json)\n"
+                 "  --top N     print only the N largest regions by exclusive time\n"
+                 "  --machine M roofline used for the verdicts (default a64fx)\n",
+                 cli.program().c_str());
+    return cli.has("help") ? 0 : 2;
+  }
+
+  const auto top = static_cast<std::size_t>(cli.get_int("top", 0));
+  const std::string machine = cli.get("machine", "a64fx");
+
+  try {
+    std::ifstream in(cli.positional()[0]);
+    if (!in) {
+      std::fprintf(stderr, "trace_summary: cannot open '%s'\n", cli.positional()[0].c_str());
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    const ookami::harness::json::Value doc = ookami::harness::json::Value::parse(os.str());
+
+    std::deque<std::string> names;
+    const auto events = ookami::harness::events_from_chrome(doc, names);
+    const auto report = ookami::trace::aggregate(
+        events, ookami::harness::roofline_for(machine));
+    std::printf("%s", ookami::trace::render(report, top).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_summary: %s\n", e.what());
+    return 2;
+  }
+}
