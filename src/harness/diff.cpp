@@ -127,6 +127,56 @@ DiffReport diff_files(const std::string& before_path, const std::string& after_p
   return diff(json::Value::parse(slurp(before_path)), json::Value::parse(slurp(after_path)), opts);
 }
 
+namespace {
+
+std::string status_slug(SeriesDelta::Status s) {
+  switch (s) {
+    case SeriesDelta::Status::kOk: return "ok";
+    case SeriesDelta::Status::kImprovement: return "improved";
+    case SeriesDelta::Status::kRegression: return "regressed";
+    case SeriesDelta::Status::kMissingBefore: return "added";
+    case SeriesDelta::Status::kMissingAfter: return "removed";
+    case SeriesDelta::Status::kNoData: return "no-data";
+  }
+  return "?";
+}
+
+bool delta_compared(SeriesDelta::Status s) {
+  return s == SeriesDelta::Status::kOk || s == SeriesDelta::Status::kImprovement ||
+         s == SeriesDelta::Status::kRegression;
+}
+
+}  // namespace
+
+json::Value diff_to_json(const DiffReport& report) {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "ookami-diff-1");
+  doc.set("before", report.before_name);
+  doc.set("after", report.after_name);
+  doc.set("metric", report.metric);
+  doc.set("threshold", report.threshold);
+  doc.set("ok", report.ok());
+  doc.set("regressions", report.regressions);
+  doc.set("added", report.added);
+  doc.set("removed", report.removed);
+  json::Value deltas = json::Value::array();
+  for (const auto& d : report.deltas) {
+    json::Value v = json::Value::object();
+    v.set("name", d.name);
+    v.set("unit", d.unit);
+    v.set("status", status_slug(d.status));
+    const bool compared = delta_compared(d.status);
+    v.set("before", compared ? json::Value(d.before) : json::Value());
+    v.set("after", compared || d.status == SeriesDelta::Status::kMissingBefore
+                       ? json::Value(d.after)
+                       : json::Value());
+    v.set("ratio", compared ? json::Value(d.ratio) : json::Value());
+    deltas.push_back(std::move(v));
+  }
+  doc.set("deltas", std::move(deltas));
+  return doc;
+}
+
 std::string render_diff(const DiffReport& report) {
   TextTable t({"series", "unit", "before", "after", "ratio", "status"});
   auto status_name = [](SeriesDelta::Status s) -> std::string {

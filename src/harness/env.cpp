@@ -3,6 +3,7 @@
 // compile definitions from src/harness/CMakeLists.txt; runtime facts
 // come from uname/gethostname/hardware_concurrency.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -56,7 +57,21 @@ std::string iso8601_utc_now() {
 
 }  // namespace
 
+const std::string& harness_start_utc() {
+  static const std::string start = iso8601_utc_now();
+  return start;
+}
+
+double harness_uptime_s() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - anchor).count();
+}
+
 Environment capture_environment() {
+  // Anchor the process-wide start clock before any per-run capture so
+  // the first result file already carries a meaningful duration.
+  harness_start_utc();
+  harness_uptime_s();
   Environment env;
   // Runtime variables that change what a run measures.  Only set
   // variables are archived; the harness separately records the

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <utility>
 
 #include "ookami/common/timer.hpp"
@@ -27,6 +29,16 @@ Options Options::from_cli(const Cli& cli) {
   if (cli.has("trace") || trace::enabled()) o.trace = true;
   o.trace_top = static_cast<int>(cli.get_int("trace-top", o.trace_top));
   o.trace_machine = cli.get("trace-machine", o.trace_machine);
+  // --metrics (or OOKAMI_METRICS=1) samples hardware counters; region
+  // attribution needs trace regions, so metrics implies trace.
+  if (const char* v = std::getenv("OOKAMI_METRICS");
+      cli.has("metrics") || (v != nullptr && (std::string(v) == "1" || std::string(v) == "true" ||
+                                              std::string(v) == "on"))) {
+    o.metrics = true;
+    o.trace = true;
+  }
+  if (const char* v = std::getenv("OOKAMI_METRICS_BACKEND"); v != nullptr) o.metrics_backend = v;
+  o.metrics_backend = cli.get("metrics-backend", o.metrics_backend);
   if (o.trace_top < 1) o.trace_top = 1;
   if (o.repeats < 1) o.repeats = 1;
   if (o.warmup < 0) o.warmup = 0;
@@ -52,6 +64,13 @@ std::string Options::usage() {
          "  --trace-top N     rows in the printed trace summary (default 15)\n"
          "  --trace-machine M roofline model for verdicts: a64fx (default),\n"
          "                    skylake, knl or zen2\n"
+         "  --metrics         sample hardware counters (also OOKAMI_METRICS=1):\n"
+         "                    per-region measured IPC/miss-rate attribution, per-repeat\n"
+         "                    latency histograms, a \"metrics\" JSON block and a\n"
+         "                    METRICS_<name>.prom artifact; implies --trace.  Falls back\n"
+         "                    to software sources where perf_event_open is denied\n"
+         "  --metrics-backend B  auto (default) or software (skip perf_event_open;\n"
+         "                    also OOKAMI_METRICS_BACKEND=software)\n"
          "  --filter SUBSTR   only run benches whose name contains SUBSTR\n"
          "  --list            print registered bench names and exit\n"
          "  --help            this message\n";
@@ -67,6 +86,11 @@ json::Value Environment::to_json() const {
   v.set("build_type", build_type);
   v.set("git_rev", git_rev);
   v.set("timestamp_utc", timestamp_utc);
+  // Process-level wall clock: when this harness invocation started and
+  // how long it had been running when this document was built, so
+  // archived results correlate with external monitoring timelines.
+  v.set("harness_start_utc", harness_start_utc());
+  v.set("harness_duration_s", harness_uptime_s());
   v.set("hardware_threads", static_cast<double>(hardware_threads));
   if (!runtime_env.empty()) {
     json::Value e = json::Value::object();
@@ -113,6 +137,13 @@ Run::Run(std::string name, Options opts)
 const Summary& Run::time(const std::string& series, const std::function<void()>& fn,
                          const std::string& unit) {
   for (int i = 0; i < opts_.warmup; ++i) fn();
+  // Under --metrics every repeat also lands in a log-bucketed latency
+  // histogram so run-to-run variability survives into the archive
+  // (1e-7 s lower edge, x1.5 buckets: ~100 ns to ~10^7 s in 80 buckets).
+  metrics::Histogram* hist = nullptr;
+  if (opts_.metrics) {
+    hist = &metrics_.histogram("latency/" + series, metrics::HistogramOptions{1e-7, 1.5, 80});
+  }
   Summary s;
   double accumulated = 0.0;
   const int target = opts_.min_time_s > 0.0 ? opts_.max_repeats : opts_.repeats;
@@ -121,6 +152,7 @@ const Summary& Run::time(const std::string& series, const std::function<void()>&
     fn();
     const double dt = t.elapsed();
     s.add(dt);
+    if (hist != nullptr) hist->observe(dt);
     accumulated += dt;
     if (opts_.min_time_s > 0.0 && accumulated >= opts_.min_time_s &&
         i + 1 >= std::min(opts_.repeats, opts_.max_repeats)) {
@@ -172,11 +204,12 @@ json::Value Run::to_json() const {
   doc.set("schema", "ookami-bench-1");
   doc.set("name", name_);
   {
-    // The trace on/off state is part of the execution environment: a
-    // traced archive must be identifiable even when OOKAMI_TRACE was
-    // not set (e.g. --trace was used).
+    // The trace/metrics on/off states are part of the execution
+    // environment: an instrumented archive must be identifiable even
+    // when the environment variables were not set (e.g. --trace).
     json::Value env = env_.to_json();
     env.set("trace", opts_.trace);
+    env.set("metrics", opts_.metrics);
     doc.set("environment", std::move(env));
   }
   {
@@ -213,6 +246,7 @@ json::Value Run::to_json() const {
     doc.set("claims_failed", claims_failed_);
   }
   if (!profile_.is_null()) doc.set("profile", profile_);
+  if (!metrics_doc_.is_null()) doc.set("metrics", metrics_doc_);
   return doc;
 }
 
@@ -291,7 +325,20 @@ int run_main(int argc, char** argv) {
   }
   const Options opts = Options::from_cli(cli);
   const std::string filter = cli.get("filter", "");
+  harness_start_utc();  // anchor the process start clock before any work
+  harness_uptime_s();
   if (opts.trace) trace::set_enabled(true);
+
+  // One sampler for the whole process: with inherit=1 the worker
+  // threads benches spawn later are aggregated into its counts.
+  std::unique_ptr<metrics::CounterSampler> sampler;
+  if (opts.metrics) {
+    metrics::SamplerConfig cfg;
+    if (opts.metrics_backend == "software") cfg.allow_perf = false;
+    sampler = std::make_unique<metrics::CounterSampler>(cfg);
+    std::printf("harness: metrics backend %s (%s)\n",
+                metrics::backend_name(sampler->backend()), sampler->backend_reason().c_str());
+  }
 
   int status = 0;
   int executed = 0;
@@ -300,16 +347,53 @@ int run_main(int argc, char** argv) {
     ++executed;
     if (opts.trace) trace::clear();  // each bench gets its own trace
     Run run(r.name, opts);
+    std::unique_ptr<metrics::RegionProfiler> profiler;
+    metrics::CounterSet before;
+    if (sampler) {
+      profiler = std::make_unique<metrics::RegionProfiler>(*sampler);
+      profiler->attach();
+      sampler->read(before);
+    }
     const int body = r.fn(run);
+    metrics::CounterSet totals;
+    if (sampler) {
+      totals = sampler->read().delta(before);
+      profiler->detach();
+    }
     if (opts.trace) {
       const trace::Report profile = collect_report(opts.trace_machine);
       std::printf("\n%s", trace::render(profile, static_cast<std::size_t>(opts.trace_top)).c_str());
-      run.attach_profile(profile_to_json(profile));
+      if (sampler) {
+        MeasuredProfile measured;
+        measured.backend = sampler->backend();
+        measured.backend_reason = sampler->backend_reason();
+        measured.regions = profiler->collect();
+        run.attach_profile(profile_to_json(profile, &measured));
+      } else {
+        run.attach_profile(profile_to_json(profile));
+      }
       const std::string trace_path = opts.out_dir + "/TRACE_" + r.name + ".json";
       if (write_file(trace_path, trace::to_chrome_json(trace::collect()))) {
         std::printf("harness: wrote %s (chrome://tracing)\n", trace_path.c_str());
       } else {
         std::fprintf(stderr, "harness: FAILED to write %s\n", trace_path.c_str());
+      }
+    }
+    if (sampler) {
+      const double ipc = totals.ipc();
+      const double miss = totals.cache_miss_rate();
+      std::printf("metrics: %s backend, %.3fs cpu", metrics::backend_name(sampler->backend()),
+                  totals.cpu_s);
+      if (std::isfinite(ipc)) std::printf(", %.0f Minstr, IPC %.2f", totals.get(metrics::CounterId::kInstructions) / 1e6, ipc);
+      if (std::isfinite(miss)) std::printf(", cache miss %.1f%%", miss * 100.0);
+      std::printf("\n");
+      run.attach_metrics(metrics_to_json(*sampler, totals, run.metrics_registry()));
+      const std::string prom_path = opts.out_dir + "/METRICS_" + r.name + ".prom";
+      if (write_file(prom_path,
+                     metrics_to_prometheus(*sampler, totals, run.metrics_registry()))) {
+        std::printf("harness: wrote %s (prometheus text)\n", prom_path.c_str());
+      } else {
+        std::fprintf(stderr, "harness: FAILED to write %s\n", prom_path.c_str());
       }
     }
     const int emit = run.finish();

@@ -66,4 +66,12 @@ DiffReport diff_files(const std::string& before_path, const std::string& after_p
 /// Human-readable comparison table plus a verdict line.
 std::string render_diff(const DiffReport& report);
 
+/// Machine-readable report (schema "ookami-diff-1") so CI can gate on
+/// structured deltas instead of parsing the text table:
+///   {"schema", "before", "after", "metric", "threshold", "ok",
+///    "regressions", "added", "removed", "deltas": [{"name", "unit",
+///    "status", "before", "after", "ratio"}, ...]}
+/// before/after/ratio are null for series that were not compared.
+json::Value diff_to_json(const DiffReport& report);
+
 }  // namespace ookami::harness

@@ -31,6 +31,7 @@
 #include "ookami/common/stats.hpp"
 #include "ookami/common/table.hpp"
 #include "ookami/harness/json.hpp"
+#include "ookami/metrics/registry.hpp"
 #include "ookami/report/report.hpp"
 
 namespace ookami::harness {
@@ -56,6 +57,16 @@ struct Options {
   bool trace = false;
   int trace_top = 15;              ///< rows in the printed trace summary
   std::string trace_machine = "a64fx";  ///< roofline model for verdicts
+  /// Hardware-counter metrics (--metrics or OOKAMI_METRICS=1): sample
+  /// instructions/cycles/cache/branch/page-fault counters around the
+  /// bench and per trace region, record per-repetition latency
+  /// histograms, embed a "metrics" block plus per-region measured
+  /// verdicts in the result JSON, and write METRICS_<name>.prom.
+  /// Implies trace (region attribution needs regions).
+  bool metrics = false;
+  /// "auto" (perf_event with software fallback) or "software" (skip
+  /// perf_event_open entirely; also OOKAMI_METRICS_BACKEND=software).
+  std::string metrics_backend = "auto";
 
   /// Parse the standard harness flags; unknown options are ignored so
   /// benches can add their own.
@@ -85,6 +96,13 @@ struct Environment {
 
 /// Capture the current machine/build environment.
 Environment capture_environment();
+
+/// Wall-clock start of this harness process (ISO-8601 UTC), captured on
+/// first use; run_main anchors it at entry.  Archived in every result's
+/// environment block so runs correlate with external monitoring.
+const std::string& harness_start_utc();
+/// Seconds elapsed since the harness start anchor.
+double harness_uptime_s();
 
 /// One measured or recorded series of a bench run.
 struct Series {
@@ -138,6 +156,17 @@ public:
   /// the additive "profile" block of the result JSON.
   void attach_profile(json::Value profile) { profile_ = std::move(profile); }
 
+  /// Attach the counter-metrics document (see profile.hpp); emitted as
+  /// the additive "metrics" block of the result JSON.
+  void attach_metrics(json::Value metrics) { metrics_doc_ = std::move(metrics); }
+
+  /// Per-run metric registry.  Under --metrics, time() feeds every
+  /// repeat into the "latency/<series>" histogram here; benches may add
+  /// their own counters/gauges/histograms — everything lands in the
+  /// metrics block and the Prometheus artifact.
+  [[nodiscard]] metrics::Registry& metrics_registry() { return metrics_; }
+  [[nodiscard]] const metrics::Registry& metrics_registry() const { return metrics_; }
+
   [[nodiscard]] const std::vector<Series>& series() const { return series_; }
   [[nodiscard]] int claims_failed() const { return claims_failed_; }
 
@@ -157,7 +186,9 @@ private:
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<report::ClaimCheck> claims_;
   int claims_failed_ = 0;
-  json::Value profile_;  ///< null until attach_profile()
+  json::Value profile_;      ///< null until attach_profile()
+  json::Value metrics_doc_;  ///< null until attach_metrics()
+  metrics::Registry metrics_;
 };
 
 /// A bench body: fills the Run, returns an exit status (0 = success).

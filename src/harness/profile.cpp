@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "ookami/perf/machine.hpp"
@@ -29,7 +30,7 @@ trace::Report collect_report(const std::string& machine) {
   return trace::aggregate(trace::collect(), roofline_for(machine), trace::dropped());
 }
 
-json::Value profile_to_json(const trace::Report& report) {
+json::Value profile_to_json(const trace::Report& report, const MeasuredProfile* measured) {
   json::Value p = json::Value::object();
   p.set("machine", report.roofline.machine);
   p.set("peak_gflops", report.roofline.peak_gflops);
@@ -37,6 +38,10 @@ json::Value profile_to_json(const trace::Report& report) {
   p.set("wall_s", report.wall_s);
   p.set("events", static_cast<double>(report.events));
   if (report.dropped > 0) p.set("dropped", static_cast<double>(report.dropped));
+  if (measured != nullptr) {
+    p.set("counter_backend", metrics::backend_name(measured->backend));
+    p.set("counter_backend_reason", measured->backend_reason);
+  }
   json::Value regions = json::Value::array();
   for (const auto& r : report.regions) {
     json::Value v = json::Value::object();
@@ -53,10 +58,110 @@ json::Value profile_to_json(const trace::Report& report) {
     if (r.flops > 0.0) v.set("gflops", r.gflops);
     if (r.bytes > 0.0) v.set("gbs", r.gbs);
     v.set("verdict", trace::bound_name(r.bound));
+    if (measured != nullptr) {
+      const metrics::RegionCounters* rc = nullptr;
+      for (const auto& c : measured->regions) {
+        if (c.name == r.name) {
+          rc = &c;
+          break;
+        }
+      }
+      const metrics::MeasuredRegion mr = metrics::join_region(r, rc, report.roofline);
+      json::Value m = json::Value::object();
+      // Non-finite doubles serialize as null, so rates whose counters
+      // were unavailable show up as explicit nulls, not zeros.
+      m.set("ipc", mr.ipc);
+      m.set("instructions", mr.instructions);
+      m.set("cycles", mr.cycles);
+      m.set("cache_miss_rate", mr.cache_miss_rate);
+      m.set("branch_miss_per_kinst", mr.branch_miss_per_kinst);
+      m.set("page_faults", mr.page_faults);
+      m.set("gbs", mr.measured_gbs);
+      m.set("intensity", mr.measured_intensity);
+      m.set("bound", trace::bound_name(mr.measured_bound));
+      m.set("verdict", metrics::verdict_name(mr.verdict));
+      v.set("measured", std::move(m));
+    }
     regions.push_back(std::move(v));
   }
   p.set("regions", std::move(regions));
   return p;
+}
+
+namespace {
+
+json::Value counter_totals_to_json(const metrics::CounterSet& totals) {
+  json::Value t = json::Value::object();
+  for (std::size_t i = 0; i < metrics::kCounterCount; ++i) {
+    const auto id = static_cast<metrics::CounterId>(i);
+    if (totals.has(id)) t.set(metrics::counter_name(id), totals.get(id));
+  }
+  // NaN -> null for rates whose counters are missing.
+  t.set("ipc", totals.ipc());
+  t.set("cache_miss_rate", totals.cache_miss_rate());
+  t.set("branch_miss_per_kinst", totals.branch_miss_per_kinst());
+  t.set("cpu_time_s", totals.cpu_s);
+  t.set("wall_s", totals.wall_s);
+  return t;
+}
+
+}  // namespace
+
+json::Value metrics_to_json(const metrics::CounterSampler& sampler,
+                            const metrics::CounterSet& totals,
+                            const metrics::Registry& registry) {
+  json::Value doc = json::Value::object();
+  doc.set("backend", metrics::backend_name(sampler.backend()));
+  doc.set("backend_reason", sampler.backend_reason());
+  doc.set("totals", counter_totals_to_json(totals));
+  json::Value hists = json::Value::array();
+  for (const std::string& name : registry.histogram_names()) {
+    const metrics::Histogram* h = registry.find_histogram(name);
+    if (h == nullptr) continue;
+    const metrics::Histogram snap(*h);
+    json::Value v = json::Value::object();
+    v.set("name", name);
+    v.set("count", static_cast<double>(snap.count()));
+    v.set("mean", snap.mean());
+    v.set("min", snap.min());
+    v.set("p50", snap.quantile(0.50));
+    v.set("p95", snap.quantile(0.95));
+    v.set("p99", snap.quantile(0.99));
+    v.set("max", snap.max());
+    json::Value buckets = json::Value::array();
+    const auto counts = snap.buckets();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      json::Value b = json::Value::object();
+      b.set("le", snap.bucket_upper(i));  // +inf serializes as null
+      b.set("count", static_cast<double>(counts[i]));
+      buckets.push_back(std::move(b));
+    }
+    v.set("buckets", std::move(buckets));
+    hists.push_back(std::move(v));
+  }
+  doc.set("histograms", std::move(hists));
+  return doc;
+}
+
+std::string metrics_to_prometheus(const metrics::CounterSampler& sampler,
+                                  const metrics::CounterSet& totals,
+                                  const metrics::Registry& registry) {
+  std::string out = registry.to_prometheus("ookami");
+  const std::string backend = metrics::backend_name(sampler.backend());
+  out += "# TYPE ookami_metrics_backend gauge\n";
+  out += "ookami_metrics_backend{backend=\"" + backend + "\"} 1\n";
+  for (std::size_t i = 0; i < metrics::kCounterCount; ++i) {
+    const auto id = static_cast<metrics::CounterId>(i);
+    if (!totals.has(id)) continue;
+    const std::string n =
+        metrics::prometheus_name(std::string("ookami_total_") + metrics::counter_name(id));
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.0f", totals.get(id));
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + buf + "\n";
+  }
+  return out;
 }
 
 std::vector<trace::Event> events_from_chrome(const json::Value& doc,

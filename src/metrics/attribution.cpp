@@ -1,0 +1,240 @@
+#include "ookami/metrics/attribution.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ookami::metrics {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Only one profiler may own the trace hooks at a time.
+std::atomic<RegionProfiler*> g_active{nullptr};
+
+/// Process-wide generation source.  Generations must be unique across
+/// *all* profilers, not just monotone within one: a new profiler can
+/// reuse a dead one's address, and a (same address, same generation)
+/// pair would revalidate stale thread-local caches pointing at freed
+/// ThreadStates.
+std::atomic<std::uint64_t> g_generation_source{0};
+
+std::uint64_t next_generation() {
+  return g_generation_source.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+/// Per-thread replay state.  The owning thread is the only writer of
+/// `stack`; `regions` is read by collect() under the profiler mutex,
+/// which is safe because collect() runs at quiescent points only (the
+/// same contract trace::collect() has).
+struct RegionProfiler::ThreadState {
+  struct Frame {
+    const char* name;
+    CounterSet start;
+    CounterSet child;  ///< inclusive deltas of completed children
+  };
+  std::vector<Frame> stack;
+  std::map<std::string, RegionCounters> regions;
+};
+
+RegionProfiler::RegionProfiler(const CounterSampler& sampler)
+    : sampler_(sampler), generation_(next_generation()) {
+  hooks_.on_begin = &RegionProfiler::hook_begin;
+  hooks_.on_end = &RegionProfiler::hook_end;
+  hooks_.ctx = this;
+}
+
+RegionProfiler::~RegionProfiler() {
+  if (attached_) detach();
+}
+
+void RegionProfiler::attach() {
+  RegionProfiler* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this)) {
+    throw std::logic_error("RegionProfiler: another profiler is already attached");
+  }
+  attached_ = true;
+  trace::set_scope_hooks(&hooks_);
+}
+
+void RegionProfiler::detach() {
+  if (!attached_) return;
+  trace::set_scope_hooks(nullptr);
+  g_active.store(nullptr);
+  attached_ = false;
+}
+
+RegionProfiler::ThreadState& RegionProfiler::local_state() {
+  thread_local RegionProfiler* t_owner = nullptr;
+  thread_local std::uint64_t t_generation = 0;
+  thread_local ThreadState* t_state = nullptr;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_owner == this && t_generation == gen) return *t_state;
+  {
+    std::lock_guard lk(mu_);
+    auto owned = std::make_unique<ThreadState>();
+    t_state = owned.get();
+    states_.push_back(std::move(owned));
+  }
+  t_owner = this;
+  t_generation = gen;
+  return *t_state;
+}
+
+void RegionProfiler::hook_begin(void* ctx, const char* name) {
+  auto* self = static_cast<RegionProfiler*>(ctx);
+  ThreadState& st = self->local_state();
+  ThreadState::Frame f;
+  f.name = name;
+  self->sampler_.read(f.start);
+  st.stack.push_back(std::move(f));
+}
+
+void RegionProfiler::hook_end(void* ctx, const char* name) {
+  auto* self = static_cast<RegionProfiler*>(ctx);
+  ThreadState& st = self->local_state();
+  // A hook installed mid-scope (or clear() mid-scope) can deliver an
+  // end without its begin; drop it rather than corrupt the stack.
+  if (st.stack.empty() || st.stack.back().name != name) return;
+  CounterSet now;
+  self->sampler_.read(now);
+  ThreadState::Frame frame = std::move(st.stack.back());
+  st.stack.pop_back();
+
+  const CounterSet inclusive = now.delta(frame.start);
+  CounterSet exclusive = inclusive;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (exclusive.valid[i] && frame.child.valid[i]) {
+      // Malformed overlap can only push this negative; clamp like the
+      // trace aggregator clamps exclusive time.
+      exclusive.value[i] = std::max(0.0, exclusive.value[i] - frame.child.value[i]);
+    }
+  }
+  exclusive.cpu_s = std::max(0.0, inclusive.cpu_s - frame.child.cpu_s);
+  exclusive.wall_s = std::max(0.0, inclusive.wall_s - frame.child.wall_s);
+
+  RegionCounters& rc = st.regions[name];
+  if (rc.count == 0) rc.name = name;
+  ++rc.count;
+  rc.inclusive.accumulate(inclusive);
+  rc.exclusive.accumulate(exclusive);
+
+  if (!st.stack.empty()) st.stack.back().child.accumulate(inclusive);
+}
+
+std::vector<RegionCounters> RegionProfiler::collect() const {
+  std::map<std::string, RegionCounters> merged;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& st : states_) {
+      for (const auto& [name, rc] : st->regions) {
+        RegionCounters& m = merged[name];
+        if (m.count == 0) m.name = name;
+        m.count += rc.count;
+        m.inclusive.accumulate(rc.inclusive);
+        m.exclusive.accumulate(rc.exclusive);
+      }
+    }
+  }
+  std::vector<RegionCounters> out;
+  out.reserve(merged.size());
+  for (auto& [name, rc] : merged) out.push_back(std::move(rc));
+  return out;
+}
+
+void RegionProfiler::clear() {
+  std::lock_guard lk(mu_);
+  states_.clear();
+  generation_.store(next_generation(), std::memory_order_release);
+}
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kAgree: return "agree";
+    case Verdict::kModelOptimistic: return "model-optimistic";
+    case Verdict::kModelPessimistic: return "model-pessimistic";
+    case Verdict::kUnmeasured: return "unmeasured";
+    case Verdict::kUnmodeled: return "unmodeled";
+  }
+  return "?";
+}
+
+MeasuredRegion join_region(const trace::RegionStats& model, const RegionCounters* counters,
+                           const trace::Roofline& roofline, double cache_line_bytes) {
+  MeasuredRegion m;
+  m.name = model.name;
+  m.ipc = kNaN;
+  m.cache_miss_rate = kNaN;
+  m.branch_miss_per_kinst = kNaN;
+  m.instructions = kNaN;
+  m.cycles = kNaN;
+  m.measured_bytes = kNaN;
+  m.measured_gbs = kNaN;
+  m.measured_intensity = kNaN;
+
+  if (counters != nullptr) {
+    const CounterSet& ex = counters->exclusive;
+    m.measured = ex.has(CounterId::kInstructions) || ex.has(CounterId::kCycles) ||
+                 ex.has(CounterId::kCacheMisses);
+    m.ipc = ex.ipc();
+    m.cache_miss_rate = ex.cache_miss_rate();
+    m.branch_miss_per_kinst = ex.branch_miss_per_kinst();
+    if (ex.has(CounterId::kInstructions)) m.instructions = ex.get(CounterId::kInstructions);
+    if (ex.has(CounterId::kCycles)) m.cycles = ex.get(CounterId::kCycles);
+    if (ex.has(CounterId::kPageFaults)) m.page_faults = ex.get(CounterId::kPageFaults);
+    if (ex.has(CounterId::kCacheMisses)) {
+      m.measured_bytes = ex.get(CounterId::kCacheMisses) * cache_line_bytes;
+      if (model.exclusive_s > 0.0) m.measured_gbs = m.measured_bytes / 1e9 / model.exclusive_s;
+      if (model.flops > 0.0) {
+        // Re-price the region's annotated work against the traffic the
+        // machine actually moved.  Zero measured traffic means the
+        // working set lived in cache: compute-bound by definition.
+        m.measured_intensity = m.measured_bytes > 0.0
+                                   ? model.flops / m.measured_bytes
+                                   : std::numeric_limits<double>::infinity();
+        m.measured_bound = m.measured_intensity < roofline.balance() ? trace::Bound::kMemory
+                                                                     : trace::Bound::kCompute;
+      } else if (m.measured_bytes > 0.0) {
+        m.measured_bound = trace::Bound::kMemory;
+      }
+    }
+  }
+
+  if (model.bound == trace::Bound::kUnknown) {
+    m.verdict = Verdict::kUnmodeled;
+  } else if (m.measured_bound == trace::Bound::kUnknown) {
+    m.verdict = Verdict::kUnmeasured;
+  } else if (m.measured_bound == model.bound) {
+    m.verdict = Verdict::kAgree;
+  } else if (model.bound == trace::Bound::kCompute) {
+    m.verdict = Verdict::kModelOptimistic;
+  } else {
+    m.verdict = Verdict::kModelPessimistic;
+  }
+  return m;
+}
+
+std::vector<MeasuredRegion> join_report(const trace::Report& report,
+                                        const std::vector<RegionCounters>& counters,
+                                        double cache_line_bytes) {
+  std::vector<MeasuredRegion> out;
+  out.reserve(report.regions.size());
+  for (const auto& r : report.regions) {
+    const RegionCounters* rc = nullptr;
+    for (const auto& c : counters) {
+      if (c.name == r.name) {
+        rc = &c;
+        break;
+      }
+    }
+    out.push_back(join_region(r, rc, report.roofline, cache_line_bytes));
+  }
+  return out;
+}
+
+}  // namespace ookami::metrics

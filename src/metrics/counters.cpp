@@ -1,0 +1,228 @@
+#include "ookami/metrics/counters.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define OOKAMI_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define OOKAMI_HAVE_PERF_EVENT 0
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ookami::metrics {
+
+namespace {
+
+double steady_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch).count();
+}
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+const char* counter_name(CounterId id) {
+  switch (id) {
+    case CounterId::kInstructions: return "instructions";
+    case CounterId::kCycles: return "cycles";
+    case CounterId::kCacheRefs: return "cache_references";
+    case CounterId::kCacheMisses: return "cache_misses";
+    case CounterId::kBranchMisses: return "branch_misses";
+    case CounterId::kPageFaults: return "page_faults";
+  }
+  return "?";
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kPerfEvent: return "perf_event";
+    case Backend::kSoftware: return "software";
+  }
+  return "?";
+}
+
+CounterSet CounterSet::delta(const CounterSet& start) const {
+  CounterSet d;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    d.valid[i] = valid[i] && start.valid[i];
+    d.value[i] = d.valid[i] ? value[i] - start.value[i] : 0.0;
+  }
+  d.cpu_s = cpu_s - start.cpu_s;
+  d.wall_s = wall_s - start.wall_s;
+  return d;
+}
+
+void CounterSet::accumulate(const CounterSet& d) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (d.valid[i]) {
+      value[i] += d.value[i];
+      valid[i] = true;
+    }
+  }
+  cpu_s += d.cpu_s;
+  wall_s += d.wall_s;
+}
+
+double CounterSet::ipc() const {
+  if (!has(CounterId::kInstructions) || !has(CounterId::kCycles)) return kNaN;
+  const double cyc = get(CounterId::kCycles);
+  return cyc > 0.0 ? get(CounterId::kInstructions) / cyc : kNaN;
+}
+
+double CounterSet::cache_miss_rate() const {
+  if (!has(CounterId::kCacheRefs) || !has(CounterId::kCacheMisses)) return kNaN;
+  const double refs = get(CounterId::kCacheRefs);
+  return refs > 0.0 ? get(CounterId::kCacheMisses) / refs : kNaN;
+}
+
+double CounterSet::branch_miss_per_kinst() const {
+  if (!has(CounterId::kBranchMisses) || !has(CounterId::kInstructions)) return kNaN;
+  const double inst = get(CounterId::kInstructions);
+  return inst > 0.0 ? get(CounterId::kBranchMisses) / inst * 1e3 : kNaN;
+}
+
+namespace {
+
+/// Software-source readings shared by both backends: page faults and
+/// CPU time from getrusage, wall time from the steady clock.
+void read_software(CounterSet& out) {
+  out.wall_s = steady_seconds();
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    out.set(CounterId::kPageFaults,
+            static_cast<double>(ru.ru_minflt) + static_cast<double>(ru.ru_majflt));
+    out.cpu_s = static_cast<double>(ru.ru_utime.tv_sec) + 1e-6 * static_cast<double>(ru.ru_utime.tv_usec) +
+                static_cast<double>(ru.ru_stime.tv_sec) + 1e-6 * static_cast<double>(ru.ru_stime.tv_usec);
+  }
+#endif
+}
+
+#if OOKAMI_HAVE_PERF_EVENT
+
+struct PerfEventSpec {
+  CounterId id;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr PerfEventSpec kPerfEvents[] = {
+    {CounterId::kInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {CounterId::kCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {CounterId::kCacheRefs, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {CounterId::kCacheMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {CounterId::kBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {CounterId::kPageFaults, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+};
+
+int open_perf_event(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr{};
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // inherit: worker threads created after this open are aggregated into
+  // the same count (this forbids PERF_FORMAT_GROUP, hence one fd per
+  // counter).
+  attr.inherit = 1;
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0 /*this process*/, -1 /*any cpu*/, -1, 0UL));
+}
+
+#endif  // OOKAMI_HAVE_PERF_EVENT
+
+}  // namespace
+
+CounterSampler::CounterSampler(const SamplerConfig& cfg) {
+  fd_.fill(-1);
+  if (cfg.simulate_errno != 0) {
+    reason_ = std::string("perf_event_open: ") + std::strerror(cfg.simulate_errno) +
+              " (simulated)";
+    return;
+  }
+  if (!cfg.allow_perf) {
+    reason_ = "software backend requested";
+    return;
+  }
+#if OOKAMI_HAVE_PERF_EVENT
+  int opened = 0;
+  int first_errno = 0;
+  for (const PerfEventSpec& spec : kPerfEvents) {
+    const int fd = open_perf_event(spec.type, spec.config);
+    if (fd >= 0) {
+      fd_[static_cast<std::size_t>(spec.id)] = fd;
+      ++opened;
+    } else if (first_errno == 0) {
+      first_errno = errno;
+    }
+  }
+  // The cycles/instructions pair is the backbone of every derived rate;
+  // if not even those opened (permission denial refuses everything),
+  // run as a pure software sampler rather than half-pretend.
+  if (fd_[static_cast<std::size_t>(CounterId::kInstructions)] < 0 &&
+      fd_[static_cast<std::size_t>(CounterId::kCycles)] < 0) {
+    for (int& fd : fd_) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    reason_ = std::string("perf_event_open: ") +
+              (first_errno != 0 ? std::strerror(first_errno) : "no counters available");
+    return;
+  }
+  backend_ = Backend::kPerfEvent;
+  reason_ = "perf_event_open ok (" + std::to_string(opened) + "/" +
+            std::to_string(kCounterCount) + " counters)";
+#else
+  reason_ = "perf_event_open unavailable on this platform";
+#endif
+}
+
+CounterSampler::~CounterSampler() {
+#if OOKAMI_HAVE_PERF_EVENT
+  for (int fd : fd_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+bool CounterSampler::counter_available(CounterId id) const {
+  return id == CounterId::kPageFaults || fd_[static_cast<std::size_t>(id)] >= 0;
+}
+
+void CounterSampler::read(CounterSet& out) const {
+  out = CounterSet{};
+  read_software(out);  // page faults + CPU time + wall clock, always
+#if OOKAMI_HAVE_PERF_EVENT
+  if (backend_ != Backend::kPerfEvent) return;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    if (fd_[i] < 0) continue;
+    // value, time_enabled, time_running (PERF_FORMAT_TOTAL_TIME_*).
+    std::uint64_t buf[3] = {0, 0, 0};
+    const auto n = ::read(fd_[i], buf, sizeof buf);
+    if (n < static_cast<long>(sizeof buf)) continue;  // leaves the slot invalid
+    double v = static_cast<double>(buf[0]);
+    if (buf[2] != 0 && buf[2] < buf[1]) {
+      // Multiplexed: scale the count up by enabled/running time.
+      v = v * static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+    }
+    out.value[i] = v;
+    out.valid[i] = true;
+  }
+#endif
+}
+
+}  // namespace ookami::metrics

@@ -1,0 +1,122 @@
+#pragma once
+// Join hardware counters to trace regions: per-region measured IPC,
+// miss rates and achieved bandwidth, and the measured-vs-modeled
+// roofline verdict.
+//
+// The RegionProfiler installs trace::ScopeHooks and samples the
+// CounterSampler at every region begin/end on the region's own thread,
+// replaying the nesting exactly like the trace aggregator's
+// exclusive-time pass: a parent is not charged for counters its
+// children burned.  Aggregation is by region name, so the result joins
+// 1:1 with trace::RegionStats.
+//
+// join_region() then holds the model's verdict (bytes/flops annotations
+// against a Roofline) to account: measured traffic is cache misses x
+// line size, measured intensity re-prices the region's annotated flops
+// against that traffic, and the verdict says whether the model and the
+// machine agree.  Note the asymmetry the kit lives with: annotations
+// model the *target* machine (A64FX by default) while counters measure
+// the *host* running the kernels — disagreement is signal, not error,
+// and EXPERIMENTS.md explains how to read it.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ookami/metrics/counters.hpp"
+#include "ookami/trace/aggregate.hpp"
+#include "ookami/trace/trace.hpp"
+
+namespace ookami::metrics {
+
+/// Aggregated counter deltas of one region name.
+struct RegionCounters {
+  std::string name;
+  std::uint64_t count = 0;  ///< completed instances that were sampled
+  CounterSet inclusive;     ///< summed begin->end deltas
+  CounterSet exclusive;     ///< inclusive minus child-region deltas
+};
+
+/// Samples counters at trace-scope boundaries while attached.  Only one
+/// profiler can be attached at a time (attach() throws otherwise); the
+/// harness attaches around a bench body, from a quiescent point.
+class RegionProfiler {
+ public:
+  explicit RegionProfiler(const CounterSampler& sampler);
+  ~RegionProfiler();
+  RegionProfiler(const RegionProfiler&) = delete;
+  RegionProfiler& operator=(const RegionProfiler&) = delete;
+
+  void attach();
+  void detach();
+  [[nodiscard]] bool attached() const { return attached_; }
+
+  /// Aggregated per-region counters, sorted by name.  Call from a
+  /// quiescent point (open scopes are not included).
+  [[nodiscard]] std::vector<RegionCounters> collect() const;
+  /// Drop recorded samples and any dangling per-thread stacks.
+  void clear();
+
+ private:
+  struct ThreadState;
+  static void hook_begin(void* ctx, const char* name);
+  static void hook_end(void* ctx, const char* name);
+  ThreadState& local_state();
+
+  const CounterSampler& sampler_;
+  trace::ScopeHooks hooks_{};
+  bool attached_ = false;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadState>> states_;
+  /// Process-unique cache token; reassigned by clear() so thread-local
+  /// caches (keyed on owner pointer + generation) can never revalidate
+  /// against a freed ThreadState, even across profiler address reuse.
+  std::atomic<std::uint64_t> generation_;
+};
+
+/// Measured-vs-modeled agreement for one region.
+enum class Verdict {
+  kAgree,             ///< measured bound matches the model's
+  kModelOptimistic,   ///< model said compute-bound, the machine was memory-bound
+  kModelPessimistic,  ///< model said memory-bound, the machine was compute-bound
+  kUnmeasured,        ///< no usable hardware counters (software backend)
+  kUnmodeled,         ///< region carries no bytes/flops annotations
+};
+const char* verdict_name(Verdict v);
+
+/// Counter-derived view of one region, ready for the "measured" block
+/// of the profile JSON.  NaN marks rates whose counters were invalid.
+struct MeasuredRegion {
+  std::string name;
+  bool measured = false;  ///< hardware counters contributed
+  double instructions = 0.0;
+  double cycles = 0.0;
+  double ipc = 0.0;
+  double cache_miss_rate = 0.0;
+  double branch_miss_per_kinst = 0.0;
+  double page_faults = 0.0;
+  double measured_bytes = 0.0;      ///< exclusive cache misses x line size
+  double measured_gbs = 0.0;        ///< measured_bytes / exclusive seconds
+  double measured_intensity = 0.0;  ///< annotated flops / measured bytes
+  trace::Bound measured_bound = trace::Bound::kUnknown;
+  Verdict verdict = Verdict::kUnmeasured;
+};
+
+/// Join one region's model-side stats with its measured counters.
+/// `counters` may be null (region never sampled -> kUnmeasured).
+/// `cache_line_bytes` is the line size of the machine the counters ran
+/// on (the host), not the modeled machine's.
+MeasuredRegion join_region(const trace::RegionStats& model, const RegionCounters* counters,
+                           const trace::Roofline& roofline, double cache_line_bytes = 64.0);
+
+/// Convenience: join a full trace report with collected region
+/// counters; result order follows report.regions.
+std::vector<MeasuredRegion> join_report(const trace::Report& report,
+                                        const std::vector<RegionCounters>& counters,
+                                        double cache_line_bytes = 64.0);
+
+}  // namespace ookami::metrics

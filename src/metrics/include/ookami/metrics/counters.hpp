@@ -1,0 +1,119 @@
+#pragma once
+// Hardware-counter sampling with graceful degradation.
+//
+// The paper's verdicts (memory-bound NPB kernels, cycles/element of the
+// SVE exp study) are *measured* machine behavior; our roofline verdicts
+// so far are modeled only.  This sampler closes the loop: it reads
+// instructions, cycles, cache references/misses, branch misses and page
+// faults through perf_event_open, and — when the kernel refuses
+// (EPERM under perf_event_paranoid, ENOSYS in containers, non-Linux
+// hosts) — falls back to software sources (getrusage + steady clock)
+// instead of failing, recording which backend ran and why so archived
+// results are never silently half-measured.
+//
+// The sampler opens one fd per counter (inherit=1, so worker threads
+// spawned after construction are aggregated) and reads scaled totals;
+// individual counters a PMU lacks are simply marked invalid while the
+// rest keep working.  Reads cost a handful of syscalls — cheap enough
+// for per-region sampling under --metrics, and never on any path when
+// metrics are off.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ookami::metrics {
+
+/// The counters the kit samples, in CounterSet slot order.
+enum class CounterId : std::size_t {
+  kInstructions = 0,
+  kCycles,
+  kCacheRefs,
+  kCacheMisses,
+  kBranchMisses,
+  kPageFaults,
+};
+inline constexpr std::size_t kCounterCount = 6;
+
+/// Stable short name ("instructions", "cycles", ...), used in JSON keys
+/// and the Prometheus exporter.
+const char* counter_name(CounterId id);
+
+/// One snapshot (or delta) of every counter plus the software-source
+/// readings that are always available.  Values are doubles because
+/// perf multiplexing scales raw counts by time_enabled/time_running.
+struct CounterSet {
+  std::array<double, kCounterCount> value{};
+  std::array<bool, kCounterCount> valid{};
+  double cpu_s = 0.0;   ///< process user+system CPU time (getrusage)
+  double wall_s = 0.0;  ///< steady-clock timestamp / interval
+
+  [[nodiscard]] bool has(CounterId id) const { return valid[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] double get(CounterId id) const { return value[static_cast<std::size_t>(id)]; }
+  void set(CounterId id, double v) {
+    value[static_cast<std::size_t>(id)] = v;
+    valid[static_cast<std::size_t>(id)] = true;
+  }
+
+  /// this - start, per slot; a slot is valid only when both sides are.
+  [[nodiscard]] CounterSet delta(const CounterSet& start) const;
+  /// Accumulate another delta (validity is OR: a counter seen once stays
+  /// reported; missing contributions add zero).
+  void accumulate(const CounterSet& d);
+
+  /// Derived rates; NaN when the needed counters are invalid.
+  [[nodiscard]] double ipc() const;
+  [[nodiscard]] double cache_miss_rate() const;        ///< misses / references
+  [[nodiscard]] double branch_miss_per_kinst() const;  ///< branch misses per 1000 instructions
+};
+
+enum class Backend {
+  kPerfEvent,  ///< hardware counters via perf_event_open
+  kSoftware,   ///< getrusage + steady clock only
+};
+const char* backend_name(Backend b);
+
+struct SamplerConfig {
+  /// false: skip perf_event_open entirely (OOKAMI_METRICS_BACKEND=software).
+  bool allow_perf = true;
+  /// Tests: pretend perf_event_open failed with this errno (e.g. EPERM)
+  /// so the fallback path is exercised deterministically.
+  int simulate_errno = 0;
+};
+
+/// Opens the counter set at construction and reads monotonic totals on
+/// demand.  Never throws on counter unavailability — it degrades and
+/// reports the backend it ended up with.
+class CounterSampler {
+ public:
+  explicit CounterSampler(const SamplerConfig& cfg = {});
+  ~CounterSampler();
+  CounterSampler(const CounterSampler&) = delete;
+  CounterSampler& operator=(const CounterSampler&) = delete;
+
+  [[nodiscard]] Backend backend() const { return backend_; }
+  /// Why this backend: "perf_event_open ok (5/6 hardware counters)" or
+  /// "perf_event_open: Operation not permitted" — archived in the BENCH
+  /// JSON so a software-only result is identifiable.
+  [[nodiscard]] const std::string& backend_reason() const { return reason_; }
+  /// Counters this sampler can actually read (page faults and the
+  /// software sources are always available).
+  [[nodiscard]] bool counter_available(CounterId id) const;
+
+  /// Read current totals (monotonic since construction).  Thread-safe;
+  /// with inherit=1 the totals aggregate all threads of the process.
+  void read(CounterSet& out) const;
+  [[nodiscard]] CounterSet read() const {
+    CounterSet s;
+    read(s);
+    return s;
+  }
+
+ private:
+  Backend backend_ = Backend::kSoftware;
+  std::string reason_;
+  std::array<int, kCounterCount> fd_;  ///< -1 = not open
+};
+
+}  // namespace ookami::metrics

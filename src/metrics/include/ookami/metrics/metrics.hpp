@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for the metrics subsystem: hardware-counter sampling
+// with software fallback (counters.hpp), the counter/gauge/histogram
+// registry with Prometheus export (registry.hpp), and the join of
+// counters onto trace regions for measured-vs-modeled roofline verdicts
+// (attribution.hpp).
+
+#include "ookami/metrics/attribution.hpp"
+#include "ookami/metrics/counters.hpp"
+#include "ookami/metrics/registry.hpp"

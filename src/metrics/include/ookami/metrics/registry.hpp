@@ -1,0 +1,141 @@
+#pragma once
+// Metric registry: named counters, gauges and log-bucketed histograms,
+// with a Prometheus text exporter.
+//
+// The harness's Summary statistics compress a bench's repeats down to
+// mean/median/min/max — exactly the averaging-away of run-to-run
+// variability the A64FX literature warns about.  The Histogram here
+// keeps the *distribution*: geometrically spaced buckets covering many
+// decades at fixed memory, exact min/max/sum on the side, and
+// log-interpolated quantiles (p50/p95/p99) so a bimodal run is visible
+// in the archived JSON instead of vanishing into a median.
+//
+// Buckets are defined by (min_value, growth, max_buckets):
+//   bucket 0            : v <= min_value            (underflow)
+//   bucket i (0<i<last) : min_value*growth^(i-1) < v <= min_value*growth^i
+//   bucket last         : everything larger         (overflow)
+// Two histograms merge only when their options match exactly.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ookami::metrics {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  double min_value = 1e-9;       ///< upper bound of the underflow bucket
+  double growth = 2.0;           ///< geometric bucket growth factor (> 1)
+  std::size_t max_buckets = 64;  ///< total buckets including under/overflow
+
+  [[nodiscard]] bool operator==(const HistogramOptions& o) const {
+    return min_value == o.min_value && growth == o.growth && max_buckets == o.max_buckets;
+  }
+};
+
+/// Log-bucketed distribution.  Thread-safe; copyable (snapshots).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions opts = {});
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one sample.  NaN is ignored; v <= min_value (including
+  /// negatives) lands in the underflow bucket.
+  void observe(double v);
+
+  /// Fold another histogram in; throws std::invalid_argument when the
+  /// bucket layouts differ.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] const HistogramOptions& options() const { return opts_; }
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  /// Exact smallest/largest observed sample; NaN when empty.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Quantile estimate for q in [0,1]: walks the cumulative bucket
+  /// counts and log-interpolates inside the target bucket, clamped to
+  /// the exact observed [min, max].  NaN when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Bucket the value v falls into.
+  [[nodiscard]] std::size_t bucket_index(double v) const;
+  /// Inclusive upper bound of bucket i (+inf for the overflow bucket).
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+  /// Snapshot of per-bucket counts (size == options().max_buckets).
+  [[nodiscard]] std::vector<std::uint64_t> buckets() const;
+
+ private:
+  [[nodiscard]] double quantile_locked(double q) const;
+
+  HistogramOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named-metric registry.  Lookup is get-or-create; returned references
+/// stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `opts` applies on first creation only; a later lookup with
+  /// different options throws std::invalid_argument.
+  Histogram& histogram(const std::string& name, HistogramOptions opts = {});
+
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
+  /// nullptr when the name is unknown.
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Prometheus text exposition (one # TYPE block per metric, names
+  /// sanitized and prefixed, histogram buckets cumulative with le
+  /// labels plus _sum/_count).
+  [[nodiscard]] std::string to_prometheus(const std::string& prefix = "ookami") const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::unique_ptr<T> metric;
+  };
+  mutable std::mutex mu_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+/// Sanitize an arbitrary metric name into the Prometheus charset
+/// ([a-zA-Z0-9_]; everything else becomes '_').
+std::string prometheus_name(const std::string& name);
+
+}  // namespace ookami::metrics

@@ -1,0 +1,246 @@
+#include "ookami/metrics/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace ookami::metrics {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+}  // namespace
+
+Histogram::Histogram(HistogramOptions opts) : opts_(opts) {
+  if (!(opts_.growth > 1.0)) throw std::invalid_argument("Histogram: growth must be > 1");
+  if (!(opts_.min_value > 0.0)) throw std::invalid_argument("Histogram: min_value must be > 0");
+  if (opts_.max_buckets < 2) throw std::invalid_argument("Histogram: need at least 2 buckets");
+  buckets_.assign(opts_.max_buckets, 0);
+}
+
+Histogram::Histogram(const Histogram& other) : opts_(other.opts_) {
+  std::lock_guard lk(other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  if (i + 1 >= opts_.max_buckets) return std::numeric_limits<double>::infinity();
+  return opts_.min_value * std::pow(opts_.growth, static_cast<double>(i));
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  if (!(v > opts_.min_value)) return 0;  // underflow (also negatives)
+  double idx_f = std::log(v / opts_.min_value) / std::log(opts_.growth);
+  auto i = static_cast<std::size_t>(std::max(1.0, std::ceil(idx_f - 1e-9)));
+  // log() rounding can be off by one at exact boundaries; settle against
+  // the same bucket_upper() the rest of the class uses so the invariant
+  // upper(i-1) < v <= upper(i) holds exactly.
+  while (i + 1 < opts_.max_buckets && v > bucket_upper(i)) ++i;
+  while (i > 1 && v <= bucket_upper(i - 1)) --i;
+  return std::min(i, opts_.max_buckets - 1);
+}
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  std::lock_guard lk(mu_);
+  ++buckets_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!(opts_ == other.opts_)) {
+    throw std::invalid_argument("Histogram::merge: bucket layouts differ");
+  }
+  // Snapshot first (cheap) so merging a histogram into itself or lock
+  // ordering between two registries can never deadlock.
+  const Histogram snap(other);
+  std::lock_guard lk(mu_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += snap.buckets_[i];
+  if (snap.count_ > 0) {
+    if (count_ == 0) {
+      min_ = snap.min_;
+      max_ = snap.max_;
+    } else {
+      min_ = std::min(min_, snap.min_);
+      max_ = std::max(max_, snap.max_);
+    }
+    count_ += snap.count_;
+    sum_ += snap.sum_;
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard lk(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard lk(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard lk(mu_);
+  return count_ ? min_ : kNaN;
+}
+
+double Histogram::max() const {
+  std::lock_guard lk(mu_);
+  return count_ ? max_ : kNaN;
+}
+
+double Histogram::mean() const {
+  std::lock_guard lk(mu_);
+  return count_ ? sum_ / static_cast<double>(count_) : kNaN;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard lk(mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
+  if (count_ == 0) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets_[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate geometrically inside bucket i, using the exact
+    // observed extremes as the outermost bounds (the underflow and
+    // overflow buckets have no finite edge of their own).
+    double lo = i == 0 ? std::min(min_, opts_.min_value) : bucket_upper(i - 1);
+    double hi = i + 1 >= buckets_.size() ? std::max(max_, bucket_upper(i - 1)) : bucket_upper(i);
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (!(lo > 0.0) || !(hi > lo)) return std::clamp(hi, min_, max_);
+    const double frac = (target - before) / static_cast<double>(buckets_[i]);
+    const double v = lo * std::pow(hi / lo, std::clamp(frac, 0.0, 1.0));
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::lock_guard lk(mu_);
+  return buckets_;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (auto& c : counters_) {
+    if (c.name == name) return *c.metric;
+  }
+  counters_.push_back({name, std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (auto& g : gauges_) {
+    if (g.name == name) return *g.metric;
+  }
+  gauges_.push_back({name, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& Registry::histogram(const std::string& name, HistogramOptions opts) {
+  std::lock_guard lk(mu_);
+  for (auto& h : histograms_) {
+    if (h.name == name) {
+      if (!(h.metric->options() == opts)) {
+        throw std::invalid_argument("Registry::histogram: '" + name +
+                                    "' already exists with different bucket options");
+      }
+      return *h.metric;
+    }
+  }
+  histograms_.push_back({name, std::make_unique<Histogram>(opts)});
+  return *histograms_.back().metric;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& h : histograms_) names.push_back(h.name);
+  return names;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  for (const auto& h : histograms_) {
+    if (h.name == name) return h.metric.get();
+  }
+  return nullptr;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string Registry::to_prometheus(const std::string& prefix) const {
+  std::lock_guard lk(mu_);
+  std::string out;
+  auto full = [&](const std::string& name) { return prometheus_name(prefix + "_" + name); };
+  for (const auto& c : counters_) {
+    const std::string n = full(c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.metric->value()) + "\n";
+  }
+  for (const auto& g : gauges_) {
+    const std::string n = full(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + fmt_double(g.metric->value()) + "\n";
+  }
+  for (const auto& h : histograms_) {
+    const std::string n = full(h.name);
+    const Histogram snap(*h.metric);  // consistent view
+    out += "# TYPE " + n + " histogram\n";
+    const auto buckets = snap.buckets();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      cum += buckets[i];
+      const double upper = snap.bucket_upper(i);
+      // Emit only occupied boundaries plus +Inf to keep files small.
+      if (buckets[i] == 0 && i + 1 < buckets.size()) continue;
+      const std::string le = std::isinf(upper) ? "+Inf" : fmt_double(upper);
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+    }
+    out += n + "_sum " + fmt_double(snap.count() ? snap.sum() : 0.0) + "\n";
+    out += n + "_count " + std::to_string(snap.count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ookami::metrics

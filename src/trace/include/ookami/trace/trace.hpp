@@ -98,6 +98,26 @@ std::size_t thread_count();
 /// buffers' future growth; meant for tests.
 void set_thread_capacity(std::size_t cap);
 
+/// Optional scope begin/end callbacks, the attachment point for layers
+/// that want to sample per-region state (the metrics subsystem reads
+/// hardware counters here) without this library depending on them.
+/// Hooks fire only while tracing is enabled, on the thread running the
+/// scope: on_begin just before the scope's start timestamp is taken,
+/// on_end just after its end timestamp — so the hook's own cost is
+/// excluded from the region's wall time.  A scope that saw no begin
+/// hook (installed mid-scope) may still fire on_end; consumers must
+/// tolerate unbalanced calls.
+struct ScopeHooks {
+  void (*on_begin)(void* ctx, const char* name) = nullptr;
+  void (*on_end)(void* ctx, const char* name) = nullptr;
+  void* ctx = nullptr;
+};
+
+/// Install (or, with nullptr, remove) the scope hooks.  The pointed-to
+/// struct must stay valid until replaced; install/remove from a
+/// quiescent point (no instrumented work in flight), like collect().
+void set_scope_hooks(const ScopeHooks* hooks);
+
 /// RAII region.  When tracing is disabled at construction the object is
 /// inert: no clock read, no buffer touch, no allocation.
 class Scope {

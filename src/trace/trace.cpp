@@ -61,6 +61,8 @@ ThreadBuffer& local_buffer() {
 
 thread_local std::int32_t t_depth = 0;
 
+std::atomic<const ScopeHooks*> g_hooks{nullptr};
+
 }  // namespace
 
 void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
@@ -111,16 +113,26 @@ void set_thread_capacity(std::size_t cap) {
   registry().capacity.store(cap == 0 ? 1 : cap, std::memory_order_relaxed);
 }
 
+void set_scope_hooks(const ScopeHooks* hooks) {
+  g_hooks.store(hooks, std::memory_order_release);
+}
+
 void Scope::begin(const char* name, double bytes, double flops) {
   name_ = name;
   bytes_ = bytes;
   flops_ = flops;
   depth_ = t_depth++;
+  if (const ScopeHooks* h = g_hooks.load(std::memory_order_acquire); h != nullptr && h->on_begin) {
+    h->on_begin(h->ctx, name);
+  }
   start_ns_ = now_ns();  // read the clock last: exclude our own setup
 }
 
 void Scope::end() {
   const std::uint64_t end_ns = now_ns();  // read the clock first
+  if (const ScopeHooks* h = g_hooks.load(std::memory_order_acquire); h != nullptr && h->on_end) {
+    h->on_end(h->ctx, name_);
+  }
   --t_depth;
   ThreadBuffer& buf = local_buffer();
   const std::size_t cap = registry().capacity.load(std::memory_order_relaxed);

@@ -15,6 +15,8 @@
 #include "ookami/harness/diff.hpp"
 #include "ookami/harness/harness.hpp"
 #include "ookami/harness/json.hpp"
+#include "ookami/harness/profile.hpp"
+#include "ookami/metrics/metrics.hpp"
 
 namespace ookami::harness {
 namespace {
@@ -106,6 +108,38 @@ TEST(Options, FromCliParsesHarnessFlags) {
   EXPECT_TRUE(o.strict_claims);
 }
 
+TEST(Options, MetricsFlagImpliesTraceAndParsesBackend) {
+  {
+    const char* argv[] = {"bench", "--metrics"};
+    const Cli cli(2, const_cast<char**>(argv));
+    const Options o = Options::from_cli(cli);
+    EXPECT_TRUE(o.metrics);
+    EXPECT_TRUE(o.trace);  // region attribution needs regions
+    EXPECT_EQ(o.metrics_backend, "auto");
+  }
+  {
+    const char* argv[] = {"bench", "--metrics", "--metrics-backend", "software"};
+    const Cli cli(4, const_cast<char**>(argv));
+    EXPECT_EQ(Options::from_cli(cli).metrics_backend, "software");
+  }
+  {
+    ::setenv("OOKAMI_METRICS", "1", 1);
+    const char* argv[] = {"bench"};
+    const Cli cli(1, const_cast<char**>(argv));
+    const Options o = Options::from_cli(cli);
+    ::unsetenv("OOKAMI_METRICS");
+    EXPECT_TRUE(o.metrics);
+    EXPECT_TRUE(o.trace);
+  }
+  {
+    const char* argv[] = {"bench"};
+    const Cli cli(1, const_cast<char**>(argv));
+    const Options o = Options::from_cli(cli);
+    EXPECT_FALSE(o.metrics);
+    EXPECT_FALSE(o.trace);
+  }
+}
+
 // ---------------------------------------------------------------- Run
 
 Options quiet_options() {
@@ -191,6 +225,74 @@ TEST(Run, CsvListsEverySeries) {
   EXPECT_NE(csv.find("\nempty,s,timed,0,,"), std::string::npos);
 }
 
+TEST(Run, MetricsModeFeedsLatencyHistogramsAndMetricsBlock) {
+  Options o = quiet_options();
+  o.metrics = true;
+  harness::Run run("unit", o);
+  run.time("work", [] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 1000; ++i) x = x + 1.0;
+  });
+
+  // Every measured repeat lands in a per-series latency histogram.
+  const metrics::Histogram* h = run.metrics_registry().find_histogram("latency/work");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);  // repeats, warmup excluded
+  EXPECT_GT(h->max(), 0.0);
+
+  // The attached metrics document becomes the result's "metrics" block.
+  const metrics::CounterSampler sampler(metrics::SamplerConfig{.allow_perf = false});
+  const metrics::CounterSet totals = sampler.read();
+  run.attach_metrics(metrics_to_json(sampler, totals, run.metrics_registry()));
+  const json::Value doc = run.to_json();
+  const json::Value* m = doc.find("metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->string_or("backend", ""), "software");
+  ASSERT_NE(m->find("totals"), nullptr);
+  const json::Value* hists = m->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_EQ(hists->size(), 1u);
+  const auto& hj = hists->items()[0];
+  EXPECT_EQ(hj.string_or("name", ""), "latency/work");
+  EXPECT_DOUBLE_EQ(hj.number_or("count", 0.0), 3.0);
+  EXPECT_TRUE(hj.contains("p50"));
+  EXPECT_TRUE(hj.contains("p99"));
+  ASSERT_NE(hj.find("buckets"), nullptr);
+  EXPECT_GT(hj.find("buckets")->size(), 0u);
+
+  // The environment block records that metrics were on.
+  EXPECT_TRUE(doc.at("environment").at("metrics").as_bool());
+
+  // The Prometheus artifact names the backend and the histogram.
+  const std::string prom = metrics_to_prometheus(sampler, totals, run.metrics_registry());
+  EXPECT_NE(prom.find("ookami_metrics_backend{backend=\"software\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("ookami_latency_work_count 3"), std::string::npos);
+}
+
+TEST(Run, MetricsOffKeepsRegistryAndJsonClean) {
+  harness::Run run("unit", quiet_options());
+  run.time("work", [] {});
+  EXPECT_EQ(run.metrics_registry().find_histogram("latency/work"), nullptr);
+  const json::Value doc = run.to_json();
+  EXPECT_EQ(doc.find("metrics"), nullptr);
+  EXPECT_FALSE(doc.at("environment").at("metrics").as_bool());
+}
+
+TEST(Environment, RecordsHarnessStartAnchor) {
+  const std::string& start = harness_start_utc();
+  // ISO-8601 UTC: "YYYY-MM-DDThh:mm:ssZ".
+  ASSERT_EQ(start.size(), 20u);
+  EXPECT_EQ(start[4], '-');
+  EXPECT_EQ(start[10], 'T');
+  EXPECT_EQ(start.back(), 'Z');
+  EXPECT_EQ(harness_start_utc(), start);  // stable for the process
+  EXPECT_GE(harness_uptime_s(), 0.0);
+
+  const json::Value j = capture_environment().to_json();
+  EXPECT_EQ(j.at("harness_start_utc").as_string(), start);
+  EXPECT_TRUE(j.at("harness_duration_s").is_number());
+}
+
 // --------------------------------------------------------------- diff
 
 json::Value make_doc(const std::string& name,
@@ -270,6 +372,52 @@ TEST(Diff, MissingAndNoDataSeries) {
 
   opts.fail_on_missing = true;
   EXPECT_EQ(diff(before, after, opts).regressions, 1);
+}
+
+TEST(Diff, JsonModeEmitsMachineReadableDeltas) {
+  const auto before = make_doc("base", {{"slow", 1.0}, {"gone", 2.0}});
+  const auto after = make_doc("cand", {{"slow", 1.5}, {"fresh", 3.0}});
+  DiffOptions opts;
+  opts.threshold = 0.10;
+  const DiffReport r = diff(before, after, opts);
+
+  const json::Value doc = diff_to_json(r);
+  EXPECT_EQ(doc.at("schema").as_string(), "ookami-diff-1");
+  EXPECT_EQ(doc.at("before").as_string(), "base");
+  EXPECT_EQ(doc.at("after").as_string(), "cand");
+  EXPECT_EQ(doc.at("metric").as_string(), "median");
+  EXPECT_DOUBLE_EQ(doc.at("threshold").as_number(), 0.10);
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(doc.at("regressions").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("added").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("removed").as_number(), 1.0);
+
+  const json::Value& deltas = doc.at("deltas");
+  ASSERT_EQ(deltas.size(), 3u);
+  auto find = [&](const std::string& name) -> const json::Value& {
+    for (const auto& d : deltas.items()) {
+      if (d.string_or("name", "") == name) return d;
+    }
+    static const json::Value null;
+    return null;
+  };
+  const json::Value& slow = find("slow");
+  EXPECT_EQ(slow.at("status").as_string(), "regressed");
+  EXPECT_DOUBLE_EQ(slow.at("before").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(slow.at("after").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(slow.at("ratio").as_number(), 1.5);
+  // Non-compared deltas carry nulls, never fabricated numbers.
+  const json::Value& gone = find("gone");
+  EXPECT_EQ(gone.at("status").as_string(), "removed");
+  EXPECT_TRUE(gone.at("before").is_null());
+  EXPECT_TRUE(gone.at("ratio").is_null());
+  const json::Value& fresh = find("fresh");
+  EXPECT_EQ(fresh.at("status").as_string(), "added");
+  EXPECT_DOUBLE_EQ(fresh.at("after").as_number(), 3.0);
+
+  // The document round-trips through the parser (what CI consumes).
+  const json::Value back = json::Value::parse(doc.dump());
+  EXPECT_EQ(back.at("deltas").size(), 3u);
 }
 
 TEST(Environment, CapturesRelevantRuntimeEnv) {

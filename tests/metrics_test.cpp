@@ -1,0 +1,567 @@
+// Tests for the src/metrics subsystem: histogram bucket math
+// (boundaries, merge, quantile interpolation), the counter sampler's
+// graceful-degradation path under a simulated EPERM, the registry's
+// get-or-create semantics and Prometheus exporter, the RegionProfiler's
+// trace-hook attribution, and the measured-vs-modeled verdict join.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "ookami/metrics/metrics.hpp"
+#include "ookami/trace/aggregate.hpp"
+#include "ookami/trace/trace.hpp"
+
+namespace ookami::metrics {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ----------------------------------------------------- histogram math
+
+HistogramOptions small_opts() {
+  HistogramOptions o;
+  o.min_value = 1.0e-3;
+  o.growth = 2.0;
+  o.max_buckets = 8;
+  return o;
+}
+
+TEST(Histogram, BucketBoundariesAreHalfOpenGeometric) {
+  const Histogram h(small_opts());
+  // bucket 0: v <= 1e-3 (underflow, negatives included).
+  EXPECT_EQ(h.bucket_index(-1.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.0e-3), 0u);
+  // bucket i: min*g^(i-1) < v <= min*g^i — boundaries land low.
+  EXPECT_EQ(h.bucket_index(1.001e-3), 1u);
+  EXPECT_EQ(h.bucket_index(2.0e-3), 1u);
+  EXPECT_EQ(h.bucket_index(2.001e-3), 2u);
+  EXPECT_EQ(h.bucket_index(4.0e-3), 2u);
+  // 8 buckets: 0 underflow, 1..6 spans, 7 overflow.  Bucket 6's upper
+  // bound is min*g^6 = 0.064; anything above lands in overflow.
+  EXPECT_EQ(h.bucket_index(0.064), 6u);
+  EXPECT_EQ(h.bucket_index(0.065), 7u);
+  EXPECT_EQ(h.bucket_index(1.0e9), 7u);
+
+  EXPECT_DOUBLE_EQ(h.bucket_upper(0), 1.0e-3);
+  EXPECT_NEAR(h.bucket_upper(1), 2.0e-3, 1e-15);
+  EXPECT_NEAR(h.bucket_upper(6), 0.064, 1e-12);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(7)));
+  // bucket_upper is the inclusive bound bucket_index honours.
+  for (std::size_t i = 0; i + 1 < small_opts().max_buckets; ++i) {
+    EXPECT_EQ(h.bucket_index(h.bucket_upper(i)), i == 0 ? 0u : i);
+  }
+}
+
+TEST(Histogram, ObserveTracksExactStatsAndIgnoresNan) {
+  Histogram h(small_opts());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.mean()));
+
+  h.observe(0.004);
+  h.observe(0.002);
+  h.observe(0.010);
+  h.observe(kNaN);  // dropped, not counted
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.002);
+  EXPECT_DOUBLE_EQ(h.max(), 0.010);
+  EXPECT_NEAR(h.sum(), 0.016, 1e-15);
+  EXPECT_NEAR(h.mean(), 0.016 / 3.0, 1e-15);
+
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), small_opts().max_buckets);
+  std::uint64_t total = 0;
+  for (const auto c : buckets) total += c;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(buckets[h.bucket_index(0.002)], 1u);
+  EXPECT_EQ(buckets[h.bucket_index(0.004)], 1u);
+  EXPECT_EQ(buckets[h.bucket_index(0.010)], 1u);
+}
+
+TEST(Histogram, UnderflowAndOverflowSamplesAreKept) {
+  Histogram h(small_opts());
+  h.observe(-5.0);    // underflow
+  h.observe(1000.0);  // overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets.front(), 1u);
+  EXPECT_EQ(buckets.back(), 1u);
+}
+
+TEST(Histogram, MergeSumsBucketsAndRejectsLayoutMismatch) {
+  Histogram a(small_opts());
+  Histogram b(small_opts());
+  a.observe(0.002);
+  a.observe(0.004);
+  b.observe(0.004);
+  b.observe(5.0);  // overflow in b
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.002);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_NEAR(a.sum(), 0.002 + 0.004 + 0.004 + 5.0, 1e-12);
+  EXPECT_EQ(a.buckets()[a.bucket_index(0.004)], 2u);
+  EXPECT_EQ(a.buckets().back(), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+
+  // Merging into an empty histogram adopts the other's min/max.
+  Histogram c(small_opts());
+  c.merge(b);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.min(), 0.004);
+  EXPECT_DOUBLE_EQ(c.max(), 5.0);
+
+  // Self-merge must not deadlock and doubles the counts.
+  c.merge(c);
+  EXPECT_EQ(c.count(), 4u);
+
+  HistogramOptions other = small_opts();
+  other.growth = 3.0;
+  Histogram d(other);
+  EXPECT_THROW(a.merge(d), std::invalid_argument);
+  other = small_opts();
+  other.max_buckets = 16;
+  Histogram e(other);
+  EXPECT_THROW(a.merge(e), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesGeometricallyWithinBucket) {
+  Histogram h(small_opts());
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+
+  // 100 samples spread evenly inside the (2e-3, 4e-3] bucket: every
+  // quantile must stay inside the bucket and grow monotonically.
+  for (int i = 1; i <= 100; ++i) h.observe(2.0e-3 + 2.0e-5 * i);
+  const double p10 = h.quantile(0.10);
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  EXPECT_GT(p10, 2.0e-3);
+  EXPECT_LE(p90, 4.0e-3);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p90);
+  // Log interpolation at the bucket midpoint: lo * (hi/lo)^0.5.
+  EXPECT_NEAR(p50, 2.0e-3 * std::sqrt(2.0), 2.0e-4);
+
+  // q=0 and q=1 clamp to the exact observed extremes, not bucket edges.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, QuantileClampsToObservedRangeForSingleSample) {
+  Histogram h(small_opts());
+  h.observe(0.003);
+  // One sample: every quantile is that sample, despite the bucket
+  // spanning (2e-3, 4e-3].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.003);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.003);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.003);
+}
+
+TEST(Histogram, QuantileWalksCumulativeCountsAcrossBuckets) {
+  Histogram h(small_opts());
+  // 90 samples in the (1e-3, 2e-3] bucket, 10 in (8e-3, 16e-3].
+  for (int i = 0; i < 90; ++i) h.observe(1.5e-3);
+  for (int i = 0; i < 10; ++i) h.observe(1.0e-2);
+  EXPECT_LE(h.quantile(0.50), 2.0e-3);
+  EXPECT_GT(h.quantile(0.95), 8.0e-3);
+  EXPECT_LE(h.quantile(0.95), 1.6e-2);
+}
+
+// ------------------------------------------------- sampler fallback
+
+TEST(CounterSampler, SimulatedEpermFallsBackToSoftware) {
+  SamplerConfig cfg;
+  cfg.simulate_errno = EPERM;
+  const CounterSampler sampler(cfg);
+  EXPECT_EQ(sampler.backend(), Backend::kSoftware);
+  // The archived reason names the failing syscall, the errno text, and
+  // that it was simulated.
+  EXPECT_NE(sampler.backend_reason().find("perf_event_open"), std::string::npos);
+  EXPECT_NE(sampler.backend_reason().find(std::strerror(EPERM)), std::string::npos);
+  EXPECT_NE(sampler.backend_reason().find("simulated"), std::string::npos);
+
+  // Hardware counters are unavailable; the software sources still work.
+  EXPECT_FALSE(sampler.counter_available(CounterId::kInstructions));
+  EXPECT_FALSE(sampler.counter_available(CounterId::kCycles));
+  EXPECT_FALSE(sampler.counter_available(CounterId::kCacheMisses));
+
+  const CounterSet before = sampler.read();
+  EXPECT_FALSE(before.has(CounterId::kInstructions));
+  EXPECT_TRUE(before.has(CounterId::kPageFaults));  // getrusage
+  // Burn some wall time so the delta is visibly positive.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(2)) {
+  }
+  const CounterSet d = sampler.read().delta(before);
+  EXPECT_GE(d.wall_s, 0.002);
+  EXPECT_GE(d.cpu_s, 0.0);
+  // Rates needing hardware counters degrade to NaN, never to 0.
+  EXPECT_TRUE(std::isnan(d.ipc()));
+  EXPECT_TRUE(std::isnan(d.cache_miss_rate()));
+}
+
+TEST(CounterSampler, SoftwareBackendCanBeForced) {
+  SamplerConfig cfg;
+  cfg.allow_perf = false;
+  const CounterSampler sampler(cfg);
+  EXPECT_EQ(sampler.backend(), Backend::kSoftware);
+  EXPECT_NE(sampler.backend_reason().find("requested"), std::string::npos);
+}
+
+TEST(CounterSampler, DefaultConstructionAlwaysYieldsAWorkingBackend) {
+  // Whatever this host permits, construction must succeed and read()
+  // must produce monotone software sources.
+  const CounterSampler sampler;
+  EXPECT_FALSE(sampler.backend_reason().empty());
+  const CounterSet a = sampler.read();
+  const CounterSet b = sampler.read();
+  EXPECT_GE(b.wall_s, a.wall_s);
+  if (sampler.backend() == Backend::kPerfEvent) {
+    // perf only wins when at least one of instructions/cycles opened.
+    EXPECT_TRUE(sampler.counter_available(CounterId::kInstructions) ||
+                sampler.counter_available(CounterId::kCycles));
+  }
+}
+
+TEST(CounterSet, DeltaAndDerivedRates) {
+  CounterSet a;
+  a.set(CounterId::kInstructions, 1000.0);
+  a.set(CounterId::kCycles, 500.0);
+  a.set(CounterId::kCacheRefs, 100.0);
+  a.set(CounterId::kCacheMisses, 25.0);
+  a.set(CounterId::kBranchMisses, 4.0);
+  a.cpu_s = 1.0;
+  a.wall_s = 2.0;
+  CounterSet b;
+  b.set(CounterId::kInstructions, 4000.0);
+  b.set(CounterId::kCycles, 1500.0);
+  b.set(CounterId::kCacheRefs, 300.0);
+  b.set(CounterId::kCacheMisses, 35.0);
+  // kBranchMisses intentionally missing on one side.
+  b.cpu_s = 1.5;
+  b.wall_s = 3.0;
+
+  const CounterSet d = b.delta(a);
+  EXPECT_DOUBLE_EQ(d.get(CounterId::kInstructions), 3000.0);
+  EXPECT_DOUBLE_EQ(d.get(CounterId::kCycles), 1000.0);
+  EXPECT_FALSE(d.has(CounterId::kBranchMisses));  // valid on one side only
+  EXPECT_DOUBLE_EQ(d.cpu_s, 0.5);
+  EXPECT_DOUBLE_EQ(d.wall_s, 1.0);
+  EXPECT_DOUBLE_EQ(d.ipc(), 3.0);
+  EXPECT_DOUBLE_EQ(d.cache_miss_rate(), 10.0 / 200.0);
+  EXPECT_TRUE(std::isnan(d.branch_miss_per_kinst()));
+
+  CounterSet acc;
+  acc.accumulate(d);
+  acc.accumulate(d);
+  EXPECT_DOUBLE_EQ(acc.get(CounterId::kInstructions), 6000.0);
+  EXPECT_DOUBLE_EQ(acc.cpu_s, 1.0);
+
+  // Zero-cycle delta: IPC must be NaN, not inf.
+  CounterSet z;
+  z.set(CounterId::kInstructions, 10.0);
+  z.set(CounterId::kCycles, 0.0);
+  EXPECT_TRUE(std::isnan(z.ipc()));
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(Registry, GetOrCreateReturnsStableReferences) {
+  Registry reg;
+  Counter& c1 = reg.counter("events");
+  c1.add(3);
+  Counter& c2 = reg.counter("events");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 3u);
+
+  Gauge& g = reg.gauge("temp");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("temp").value(), 1.5);
+
+  Histogram& h1 = reg.histogram("lat", small_opts());
+  h1.observe(0.002);
+  Histogram& h2 = reg.histogram("lat", small_opts());
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.count(), 1u);
+  // Same name, different layout: a silent re-bucket would corrupt the
+  // series, so it throws.
+  HistogramOptions other = small_opts();
+  other.growth = 10.0;
+  EXPECT_THROW(reg.histogram("lat", other), std::invalid_argument);
+
+  EXPECT_EQ(reg.histogram_names().size(), 1u);
+  EXPECT_NE(reg.find_histogram("lat"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+}
+
+TEST(Registry, PrometheusExpositionFormat) {
+  Registry reg;
+  reg.counter("total/events").add(7);
+  reg.gauge("cache miss-rate").set(0.25);
+  Histogram& h = reg.histogram("latency/spmv", small_opts());
+  h.observe(0.002);
+  h.observe(0.003);
+  h.observe(100.0);  // overflow
+
+  const std::string text = reg.to_prometheus("ookami");
+  // Names are sanitized into the Prometheus charset and prefixed.
+  EXPECT_NE(text.find("# TYPE ookami_total_events counter"), std::string::npos);
+  EXPECT_NE(text.find("ookami_total_events 7"), std::string::npos);
+  EXPECT_NE(text.find("ookami_cache_miss_rate 0.25"), std::string::npos);
+  // Histogram: cumulative buckets with le labels, +Inf, _sum and _count.
+  EXPECT_NE(text.find("# TYPE ookami_latency_spmv histogram"), std::string::npos);
+  EXPECT_NE(text.find("ookami_latency_spmv_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("ookami_latency_spmv_count 3"), std::string::npos);
+  EXPECT_NE(text.find("ookami_latency_spmv_sum"), std::string::npos);
+  // Cumulative counts never decrease along the le ladder: the bucket
+  // before +Inf already holds the two in-range samples.
+  EXPECT_NE(text.find("} 2\n"), std::string::npos);
+}
+
+TEST(Registry, PrometheusNameSanitization) {
+  EXPECT_EQ(prometheus_name("latency/cg.spmv-1"), "latency_cg_spmv_1");
+  EXPECT_EQ(prometheus_name("ok_name09"), "ok_name09");
+}
+
+// ------------------------------------------- region profiler + hooks
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::set_enabled(true);
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+};
+
+TEST_F(ProfilerTest, AttributesCountersToRegionsByName) {
+  SamplerConfig cfg;
+  cfg.simulate_errno = EPERM;  // deterministic software backend
+  const CounterSampler sampler(cfg);
+  RegionProfiler profiler(sampler);
+  profiler.attach();
+  EXPECT_TRUE(profiler.attached());
+
+  const auto spin = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(2)) {
+    }
+  };
+  {
+    OOKAMI_TRACE_SCOPE("prof/outer");
+    spin();
+    {
+      OOKAMI_TRACE_SCOPE("prof/inner");
+      spin();
+    }
+    { OOKAMI_TRACE_SCOPE("prof/inner"); }
+  }
+  profiler.detach();
+  EXPECT_FALSE(profiler.attached());
+
+  const auto regions = profiler.collect();
+  ASSERT_EQ(regions.size(), 2u);  // sorted by name
+  EXPECT_EQ(regions[0].name, "prof/inner");
+  EXPECT_EQ(regions[1].name, "prof/outer");
+  EXPECT_EQ(regions[0].count, 2u);
+  EXPECT_EQ(regions[1].count, 1u);
+  // The software backend still yields wall-time attribution, and the
+  // exclusive replay subtracts the inner region from the outer.
+  const auto& outer = regions[1];
+  EXPECT_GE(outer.inclusive.wall_s, 0.004);
+  EXPECT_GE(outer.exclusive.wall_s, 0.0);
+  EXPECT_LT(outer.exclusive.wall_s, outer.inclusive.wall_s);
+  EXPECT_NEAR(outer.exclusive.wall_s + regions[0].inclusive.wall_s, outer.inclusive.wall_s,
+              1e-3);
+
+  profiler.clear();
+  EXPECT_TRUE(profiler.collect().empty());
+}
+
+TEST_F(ProfilerTest, AggregatesAcrossThreads) {
+  SamplerConfig cfg;
+  cfg.simulate_errno = EPERM;
+  const CounterSampler sampler(cfg);
+  RegionProfiler profiler(sampler);
+  profiler.attach();
+  std::thread a([] { OOKAMI_TRACE_SCOPE("mt/region"); });
+  std::thread b([] { OOKAMI_TRACE_SCOPE("mt/region"); });
+  a.join();
+  b.join();
+  { OOKAMI_TRACE_SCOPE("mt/region"); }
+  profiler.detach();
+  const auto regions = profiler.collect();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].count, 3u);
+}
+
+TEST_F(ProfilerTest, SecondAttachThrowsAndDetachReleasesTheSlot) {
+  SamplerConfig cfg;
+  cfg.allow_perf = false;
+  const CounterSampler sampler(cfg);
+  RegionProfiler first(sampler);
+  RegionProfiler second(sampler);
+  first.attach();
+  EXPECT_THROW(second.attach(), std::logic_error);
+  first.detach();
+  second.attach();  // slot released
+  second.detach();
+}
+
+TEST_F(ProfilerTest, IgnoresScopesOutsideAttachment) {
+  SamplerConfig cfg;
+  cfg.allow_perf = false;
+  const CounterSampler sampler(cfg);
+  RegionProfiler profiler(sampler);
+  { OOKAMI_TRACE_SCOPE("before/attach"); }  // hooks not installed yet
+  {
+    // A scope already open at attach time delivers an end without its
+    // begin; the profiler must drop it rather than corrupt the stack.
+    trace::Scope dangling("half/open");
+    profiler.attach();
+  }
+  { OOKAMI_TRACE_SCOPE("during/attach"); }
+  profiler.detach();
+  { OOKAMI_TRACE_SCOPE("after/detach"); }
+  const auto regions = profiler.collect();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].name, "during/attach");
+}
+
+// -------------------------------------------- measured-vs-modeled join
+
+trace::RegionStats model_region(const std::string& name, trace::Bound bound, double flops,
+                                double exclusive_s = 1.0) {
+  trace::RegionStats r;
+  r.name = name;
+  r.count = 1;
+  r.inclusive_s = exclusive_s;
+  r.exclusive_s = exclusive_s;
+  r.flops = flops;
+  r.bytes = flops > 0.0 ? 1.0 : 0.0;
+  r.bound = bound;
+  return r;
+}
+
+RegionCounters measured_counters(const std::string& name, double cache_misses) {
+  RegionCounters c;
+  c.name = name;
+  c.count = 1;
+  c.exclusive.set(CounterId::kInstructions, 1.0e9);
+  c.exclusive.set(CounterId::kCycles, 0.5e9);
+  c.exclusive.set(CounterId::kCacheRefs, cache_misses * 2.0);
+  c.exclusive.set(CounterId::kCacheMisses, cache_misses);
+  c.inclusive = c.exclusive;
+  return c;
+}
+
+// balance = 100/10 = 10 flop/B.
+trace::Roofline test_roofline() { return {"test", 100.0, 10.0}; }
+
+TEST(Join, VerdictAgreeWhenModelAndMachineMatch) {
+  // Model says memory-bound; machine moves lots of traffic: 1e9 flops
+  // over 1e7 misses * 64 B = 6.4e8 B -> intensity ~1.6 < balance 10.
+  const auto model = model_region("r", trace::Bound::kMemory, 1.0e9);
+  const auto counters = measured_counters("r", 1.0e7);
+  const MeasuredRegion m = join_region(model, &counters, test_roofline());
+  EXPECT_TRUE(m.measured);
+  EXPECT_EQ(m.measured_bound, trace::Bound::kMemory);
+  EXPECT_EQ(m.verdict, Verdict::kAgree);
+  EXPECT_DOUBLE_EQ(m.ipc, 2.0);
+  EXPECT_DOUBLE_EQ(m.cache_miss_rate, 0.5);
+  EXPECT_NEAR(m.measured_bytes, 6.4e8, 1.0);
+  EXPECT_NEAR(m.measured_gbs, 0.64, 1e-9);                  // over 1 s exclusive
+  EXPECT_NEAR(m.measured_intensity, 1.0e9 / 6.4e8, 1e-9);
+}
+
+TEST(Join, VerdictModelOptimisticWhenMachineIsMemoryBound) {
+  // Model claims compute-bound but the machine's traffic prices the
+  // same flops below the balance.
+  const auto model = model_region("r", trace::Bound::kCompute, 1.0e9);
+  const auto counters = measured_counters("r", 1.0e7);  // intensity ~1.6
+  EXPECT_EQ(join_region(model, &counters, test_roofline()).verdict,
+            Verdict::kModelOptimistic);
+}
+
+TEST(Join, VerdictModelPessimisticWhenWorkingSetCached) {
+  // Model claims memory-bound, but the machine barely missed: 1e9 flops
+  // over 1e3 misses * 64 B -> intensity ~1.6e4 >> balance.
+  const auto model = model_region("r", trace::Bound::kMemory, 1.0e9);
+  const auto counters = measured_counters("r", 1.0e3);
+  EXPECT_EQ(join_region(model, &counters, test_roofline()).verdict,
+            Verdict::kModelPessimistic);
+
+  // Zero measured traffic: fully cached, compute-bound by definition.
+  const auto cached = measured_counters("r", 0.0);
+  const MeasuredRegion m = join_region(model, &cached, test_roofline());
+  EXPECT_TRUE(std::isinf(m.measured_intensity));
+  EXPECT_EQ(m.verdict, Verdict::kModelPessimistic);
+}
+
+TEST(Join, VerdictUnmeasuredWithoutHardwareCounters) {
+  const auto model = model_region("r", trace::Bound::kMemory, 1.0e9);
+  // Software-backend counters: only wall/cpu/page faults, no cache data.
+  RegionCounters soft;
+  soft.name = "r";
+  soft.count = 1;
+  soft.exclusive.set(CounterId::kPageFaults, 12.0);
+  soft.exclusive.wall_s = 1.0;
+  const MeasuredRegion m = join_region(model, &soft, test_roofline());
+  EXPECT_FALSE(m.measured);
+  EXPECT_EQ(m.verdict, Verdict::kUnmeasured);
+  EXPECT_TRUE(std::isnan(m.ipc));
+  EXPECT_DOUBLE_EQ(m.page_faults, 12.0);
+  // Never-sampled region: same verdict through the nullptr path.
+  EXPECT_EQ(join_region(model, nullptr, test_roofline()).verdict, Verdict::kUnmeasured);
+}
+
+TEST(Join, VerdictUnmodeledWinsOverMeasurement) {
+  // No annotations: there is no model verdict to compare against, even
+  // with perfect counters.
+  const auto model = model_region("r", trace::Bound::kUnknown, 0.0);
+  const auto counters = measured_counters("r", 1.0e6);
+  EXPECT_EQ(join_region(model, &counters, test_roofline()).verdict, Verdict::kUnmodeled);
+}
+
+TEST(Join, ReportJoinMatchesByNameAndPreservesOrder) {
+  trace::Report report;
+  report.roofline = test_roofline();
+  report.regions.push_back(model_region("b", trace::Bound::kMemory, 1.0e9));
+  report.regions.push_back(model_region("a", trace::Bound::kUnknown, 0.0));
+  std::vector<RegionCounters> counters;
+  counters.push_back(measured_counters("b", 1.0e7));
+
+  const auto joined = join_report(report, counters);
+  ASSERT_EQ(joined.size(), 2u);
+  EXPECT_EQ(joined[0].name, "b");
+  EXPECT_EQ(joined[0].verdict, Verdict::kAgree);
+  EXPECT_EQ(joined[1].name, "a");
+  EXPECT_EQ(joined[1].verdict, Verdict::kUnmodeled);
+}
+
+TEST(Join, VerdictNamesAreStableSlugs) {
+  EXPECT_STREQ(verdict_name(Verdict::kAgree), "agree");
+  EXPECT_STREQ(verdict_name(Verdict::kModelOptimistic), "model-optimistic");
+  EXPECT_STREQ(verdict_name(Verdict::kModelPessimistic), "model-pessimistic");
+  EXPECT_STREQ(verdict_name(Verdict::kUnmeasured), "unmeasured");
+  EXPECT_STREQ(verdict_name(Verdict::kUnmodeled), "unmodeled");
+}
+
+}  // namespace
+}  // namespace ookami::metrics

@@ -360,6 +360,78 @@ TEST_F(TraceTest, ProfileJsonCarriesRegionsAndVerdicts) {
   EXPECT_GT(r.number_or("exclusive_s", 0.0), 0.0);
 }
 
+struct HookLog {
+  std::vector<std::string> begins;
+  std::vector<std::string> ends;
+};
+
+TEST_F(TraceTest, ScopeHooksFireAroundEveryScope) {
+  HookLog log;
+  ScopeHooks hooks;
+  hooks.on_begin = [](void* ctx, const char* name) {
+    static_cast<HookLog*>(ctx)->begins.emplace_back(name);
+  };
+  hooks.on_end = [](void* ctx, const char* name) {
+    static_cast<HookLog*>(ctx)->ends.emplace_back(name);
+  };
+  hooks.ctx = &log;
+  set_scope_hooks(&hooks);
+  {
+    OOKAMI_TRACE_SCOPE("hk/outer");
+    {
+      OOKAMI_TRACE_SCOPE("hk/inner");
+    }
+  }
+  set_scope_hooks(nullptr);
+  { OOKAMI_TRACE_SCOPE("hk/after-removal"); }
+
+  ASSERT_EQ(log.begins.size(), 2u);
+  ASSERT_EQ(log.ends.size(), 2u);
+  EXPECT_EQ(log.begins[0], "hk/outer");
+  EXPECT_EQ(log.begins[1], "hk/inner");
+  // Ends fire in unwind order: inner closes first.
+  EXPECT_EQ(log.ends[0], "hk/inner");
+  EXPECT_EQ(log.ends[1], "hk/outer");
+  // The scopes themselves still recorded normally.
+  EXPECT_EQ(collect().size(), 3u);
+}
+
+TEST_F(TraceTest, ScopeHooksAreSilentWhileTracingDisabled) {
+  HookLog log;
+  ScopeHooks hooks;
+  hooks.on_begin = [](void* ctx, const char* name) {
+    static_cast<HookLog*>(ctx)->begins.emplace_back(name);
+  };
+  hooks.on_end = [](void* ctx, const char* name) {
+    static_cast<HookLog*>(ctx)->ends.emplace_back(name);
+  };
+  hooks.ctx = &log;
+  set_scope_hooks(&hooks);
+  set_enabled(false);
+  { OOKAMI_TRACE_SCOPE("hk/disabled"); }
+  set_scope_hooks(nullptr);
+  EXPECT_TRUE(log.begins.empty());
+  EXPECT_TRUE(log.ends.empty());
+}
+
+TEST_F(TraceTest, ScopeHookTimeIsExcludedFromRegionWallTime) {
+  // The begin hook runs before the start timestamp and the end hook
+  // after the end timestamp, so hook cost never inflates region time.
+  ScopeHooks hooks;
+  hooks.on_begin = [](void*, const char*) { spin_ns(200000); };
+  hooks.on_end = [](void*, const char*) { spin_ns(200000); };
+  set_scope_hooks(&hooks);
+  {
+    OOKAMI_TRACE_SCOPE("hk/timed");
+    spin_ns(50000);
+  }
+  set_scope_hooks(nullptr);
+  const auto events = collect();
+  ASSERT_EQ(events.size(), 1u);
+  // 50 us of body; 400 us of hooks must not be charged to it.
+  EXPECT_LT(events[0].seconds(), 200e-6);
+}
+
 TEST_F(TraceTest, RooflineForRejectsUnknownMachine) {
   EXPECT_THROW(harness::roofline_for("cray-1"), std::invalid_argument);
   const auto a64fx = harness::roofline_for("a64fx");

@@ -1,7 +1,7 @@
 // bench_diff — the regression gate over two harness result files.
 //
 //   bench_diff BASELINE.json CANDIDATE.json [--threshold PCT]
-//              [--metric median|mean|min|max] [--strict]
+//              [--metric median|mean|min|max] [--strict] [--json]
 //
 // Compares every series shared by the two BENCH_*.json documents by the
 // chosen statistic, honouring each series' recorded better-is-lower/
@@ -9,8 +9,9 @@
 // percent (default 10) in the bad direction.  Series present in only
 // one file are reported: added series are informational, removed series
 // become gate failures under --strict (--fail-on-missing is an alias).
-// Exit 2 signals a usage or I/O problem so CI can tell "perf regressed"
-// from "gate broke".
+// --json replaces the text table with an ookami-diff-1 JSON document on
+// stdout so CI can gate on structured deltas.  Exit 2 signals a usage
+// or I/O problem so CI can tell "perf regressed" from "gate broke".
 
 #include <cstdio>
 #include <exception>
@@ -23,7 +24,7 @@ int main(int argc, char** argv) {
   if (cli.has("help") || cli.positional().size() != 2) {
     std::fprintf(stderr,
                  "usage: %s BASELINE.json CANDIDATE.json [--threshold PCT] "
-                 "[--metric median|mean|min|max] [--strict]\n",
+                 "[--metric median|mean|min|max] [--strict] [--json]\n",
                  cli.program().c_str());
     return cli.has("help") ? 0 : 2;
   }
@@ -39,7 +40,11 @@ int main(int argc, char** argv) {
 
   try {
     const auto report = ookami::harness::diff_files(cli.positional()[0], cli.positional()[1], opts);
-    std::printf("%s", ookami::harness::render_diff(report).c_str());
+    if (cli.has("json")) {
+      std::printf("%s\n", ookami::harness::diff_to_json(report).dump().c_str());
+    } else {
+      std::printf("%s", ookami::harness::render_diff(report).c_str());
+    }
     return report.ok() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_diff: %s\n", e.what());

@@ -48,6 +48,15 @@ int main(int argc, char** argv) {
 
     std::deque<std::string> names;
     const auto events = ookami::harness::events_from_chrome(doc, names);
+    if (events.empty()) {
+      // A structurally valid document with nothing to report is a user
+      // error (wrong file, trace recorded with tracing off) — fail
+      // loudly instead of printing an empty table.
+      std::fprintf(stderr,
+                   "trace_summary: '%s' contains no complete (\"ph\":\"X\") trace events\n",
+                   cli.positional()[0].c_str());
+      return 2;
+    }
     const auto report = ookami::trace::aggregate(
         events, ookami::harness::roofline_for(machine));
     std::printf("%s", ookami::trace::render(report, top).c_str());
