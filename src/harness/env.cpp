@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "ookami/harness/harness.hpp"
+#include "ookami/simd/backend.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/utsname.h>
@@ -77,13 +78,14 @@ Environment capture_environment() {
   // variables are archived; the harness separately records the
   // effective trace on/off state in the environment JSON.
   static const char* const kRelevantEnv[] = {
-      "OOKAMI_THREADS",  "OOKAMI_TRACE", "OMP_NUM_THREADS",
-      "OMP_PROC_BIND",   "OMP_PLACES",   "GOMP_CPU_AFFINITY",
+      "OOKAMI_THREADS", "OOKAMI_TRACE", "OOKAMI_SIMD_BACKEND", "OMP_NUM_THREADS",
+      "OMP_PROC_BIND",  "OMP_PLACES",   "GOMP_CPU_AFFINITY",
   };
   for (const char* name : kRelevantEnv) {
     if (const char* value = std::getenv(name)) env.runtime_env.emplace_back(name, value);
   }
   env.compiler = compiler_id();
+  env.simd_backend = simd::backend_name(simd::active_backend());
   env.cxx_flags = OOKAMI_CXX_FLAGS;
   env.build_type = OOKAMI_BUILD_TYPE;
   env.git_rev = OOKAMI_GIT_REV;

@@ -8,6 +8,7 @@
 
 #include "ookami/common/timer.hpp"
 #include "ookami/harness/profile.hpp"
+#include "ookami/simd/backend.hpp"
 #include "ookami/trace/export.hpp"
 #include "ookami/trace/trace.hpp"
 
@@ -86,6 +87,7 @@ json::Value Environment::to_json() const {
   v.set("build_type", build_type);
   v.set("git_rev", git_rev);
   v.set("timestamp_utc", timestamp_utc);
+  v.set("simd_backend", simd_backend);
   // Process-level wall clock: when this harness invocation started and
   // how long it had been running when this document was built, so
   // archived results correlate with external monitoring timelines.
@@ -106,6 +108,7 @@ json::Value Series::to_json(bool keep_samples) const {
   v.set("unit", unit);
   v.set("kind", kind);
   v.set("better", direction == Direction::kLowerIsBetter ? "lower" : "higher");
+  v.set("backend", backend);
   v.set("count", static_cast<double>(stats.count()));
   // An empty Summary has no measurements; emit explicit nulls rather
   // than a plausible-looking 0.0 (non-finite doubles also serialize as
@@ -159,7 +162,8 @@ const Summary& Run::time(const std::string& series, const std::function<void()>&
       break;
     }
   }
-  series_.push_back({series, unit, "timed", Direction::kLowerIsBetter, std::move(s)});
+  series_.push_back({series, unit, "timed", Direction::kLowerIsBetter, std::move(s),
+                     simd::backend_name(simd::active_backend())});
   return series_.back().stats;
 }
 
@@ -167,12 +171,14 @@ void Run::record(const std::string& series, double value, const std::string& uni
                  Direction direction) {
   Summary s;
   s.add(value);
-  series_.push_back({series, unit, "recorded", direction, std::move(s)});
+  series_.push_back({series, unit, "recorded", direction, std::move(s),
+                     simd::backend_name(simd::active_backend())});
 }
 
 void Run::record_summary(const std::string& series, const Summary& stats,
                          const std::string& unit, const char* kind, Direction direction) {
-  series_.push_back({series, unit, kind, direction, stats});
+  series_.push_back({series, unit, kind, direction, stats,
+                     simd::backend_name(simd::active_backend())});
 }
 
 void Run::record_grouped(const GroupedSeries& g, const std::string& unit, Direction direction) {

@@ -85,6 +85,9 @@ struct Environment {
   std::string build_type;
   std::string git_rev;
   std::string timestamp_utc;
+  /// Active SIMD backend ("scalar"/"sse2"/"avx2") resolved at capture
+  /// time: override > OOKAMI_SIMD_BACKEND > CPUID detection.
+  std::string simd_backend;
   unsigned hardware_threads = 0;
   /// Runtime environment variables that affect results (OOKAMI_THREADS,
   /// OOKAMI_TRACE, OMP_*), captured so archived JSON identifies how a
@@ -111,6 +114,9 @@ struct Series {
   std::string kind;  ///< "timed" or "recorded"
   Direction direction = Direction::kLowerIsBetter;
   Summary stats;
+  /// SIMD backend active when the series was registered (series recorded
+  /// under a ScopedBackend override keep their own identity).
+  std::string backend;
 
   [[nodiscard]] json::Value to_json(bool keep_samples) const;
 };

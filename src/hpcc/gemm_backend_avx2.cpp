@@ -1,0 +1,15 @@
+// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
+// through runtime dispatch after a CPUID check.
+#include "gemm_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+
+#include "gemm_kernel_impl.hpp"
+
+namespace ookami::hpcc::detail {
+
+const GemmKernels kGemmAvx2 = {&PackedGemm<simd::arch::avx2>::run};
+
+}  // namespace ookami::hpcc::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX2

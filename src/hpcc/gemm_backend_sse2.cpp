@@ -1,0 +1,13 @@
+#include "gemm_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+
+#include "gemm_kernel_impl.hpp"
+
+namespace ookami::hpcc::detail {
+
+const GemmKernels kGemmSse2 = {&PackedGemm<simd::arch::sse2>::run};
+
+}  // namespace ookami::hpcc::detail
+
+#endif  // OOKAMI_SIMD_HAVE_SSE2

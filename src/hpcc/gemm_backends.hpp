@@ -1,0 +1,51 @@
+#pragma once
+// Private runtime-dispatch table for the packed DGEMM kernel.
+//
+// Same pattern as vecmath/backends.hpp: one function-pointer table per
+// compiled native backend, defined in a per-arch TU (gemm_backend_*.cpp)
+// so AVX2 code is only ever emitted into a file compiled with
+// -mavx2 -mfma and only ever *executed* after a CPUID check.  The
+// scalar backend has no table; callers fall through to the original
+// gemm_blocked() path, which stays byte-for-byte the reference code.
+
+#include <cstddef>
+
+#include "ookami/common/threadpool.hpp"
+#include "ookami/simd/backend.hpp"
+
+namespace ookami::hpcc::detail {
+
+struct GemmKernels {
+  // Packed cache-blocked C = A*B (row-major, n x n).  `pool` == nullptr
+  // means serial (kBlocked); non-null threads over row blocks (kTuned).
+  void (*gemm_packed)(std::size_t n, const double* a, const double* b, double* c,
+                      ThreadPool* pool);
+};
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+extern const GemmKernels kGemmSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+extern const GemmKernels kGemmAvx2;
+#endif
+
+inline const GemmKernels* gemm_kernels(simd::Backend b) {
+  switch (b) {
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+    case simd::Backend::kSse2:
+      return &kGemmSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+    case simd::Backend::kAvx2:
+      return &kGemmAvx2;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+inline const GemmKernels* active_gemm_kernels() {
+  return gemm_kernels(simd::active_backend());
+}
+
+}  // namespace ookami::hpcc::detail

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "loops_backends.hpp"
 #include "ookami/sve/sve.hpp"
 #include "ookami/vecmath/vecmath.hpp"
 
@@ -187,6 +188,24 @@ void run_sve(LoopKind kind, LoopData& d) {
   const std::size_t n = d.n();
   const double* x = d.x.data();
   double* y = d.y.data();
+
+  // Fig. 1 kinds run on the active native backend when one is compiled
+  // in; the math kinds already dispatch inside vecmath's array drivers.
+  switch (kind) {
+    case LoopKind::kSimple:
+    case LoopKind::kPredicate:
+    case LoopKind::kGather:
+    case LoopKind::kScatter:
+    case LoopKind::kShortGather:
+    case LoopKind::kShortScatter:
+      if (const auto* nk = detail::active_loops_kernels()) {
+        nk->run_fig1(kind, x, y, d.index.empty() ? nullptr : d.index.data(), n);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
 
   switch (kind) {
     case LoopKind::kSimple:

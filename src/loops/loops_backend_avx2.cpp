@@ -1,0 +1,15 @@
+// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
+// through runtime dispatch after a CPUID check.
+#include "loops_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+
+#include "loops_kernel_impl.hpp"
+
+namespace ookami::loops::detail {
+
+const LoopsKernels kLoopsAvx2 = {&run_fig1_impl<simd::arch::avx2>};
+
+}  // namespace ookami::loops::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX2

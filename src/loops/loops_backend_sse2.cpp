@@ -1,0 +1,13 @@
+#include "loops_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+
+#include "loops_kernel_impl.hpp"
+
+namespace ookami::loops::detail {
+
+const LoopsKernels kLoopsSse2 = {&run_fig1_impl<simd::arch::sse2>};
+
+}  // namespace ookami::loops::detail
+
+#endif  // OOKAMI_SIMD_HAVE_SSE2

@@ -1,0 +1,45 @@
+#pragma once
+// Private runtime-dispatch table for the Figure 1 loop kernels (same
+// pattern as hpcc/gemm_backends.hpp).  The math kernels (Figure 2) need
+// no table here: they already dispatch inside vecmath's *_array entry
+// points.  Scalar backend = nullptr table; run_sve falls through to the
+// original 8-lane emulation loops.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ookami/loops/kernels.hpp"
+#include "ookami/simd/backend.hpp"
+
+namespace ookami::loops::detail {
+
+struct LoopsKernels {
+  // Handles only the fig1 kinds (simple/predicate/gather/scatter and the
+  // 128-byte-window variants); idx may be null for the non-indexed ones.
+  void (*run_fig1)(LoopKind kind, const double* x, double* y, const std::uint32_t* idx,
+                   std::size_t n);
+};
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+extern const LoopsKernels kLoopsSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+extern const LoopsKernels kLoopsAvx2;
+#endif
+
+inline const LoopsKernels* active_loops_kernels() {
+  switch (simd::active_backend()) {
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+    case simd::Backend::kSse2:
+      return &kLoopsSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+    case simd::Backend::kAvx2:
+      return &kLoopsAvx2;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace ookami::loops::detail

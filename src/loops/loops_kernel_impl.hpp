@@ -1,0 +1,56 @@
+#pragma once
+// Arch-templated Figure 1 loop kernels, instantiated per native backend
+// from loops_backend_*.cpp.  Each is the run_sve() loop transcribed onto
+// the sve_api veneer, so the 8-lane structure, predication, and rounding
+// (single-rounded fma in kSimple) match the emulation path exactly.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "ookami/loops/kernels.hpp"
+#include "ookami/simd/sve.hpp"
+
+namespace ookami::loops::detail {
+
+template <class A>
+void run_fig1_impl(LoopKind kind, const double* x, double* y, const std::uint32_t* idx,
+                   std::size_t n) {
+  using SV = simd::sve_api<A>;
+  using V = typename SV::Vec;
+  constexpr std::size_t kW = simd::kSveLanes;
+  switch (kind) {
+    case LoopKind::kSimple:
+      for (std::size_t i = 0; i < n; i += kW) {
+        const auto pg = SV::whilelt(i, n);
+        const V v = SV::ld1(pg, x + i);
+        SV::st1(pg, y + i, SV::fma(SV::dup(3.0) * v, v, SV::dup(2.0) * v));
+      }
+      break;
+    case LoopKind::kPredicate:
+      for (std::size_t i = 0; i < n; i += kW) {
+        const auto pg = SV::whilelt(i, n);
+        const V v = SV::ld1(pg, x + i);
+        SV::st1(SV::cmpgt(pg, v, SV::dup(0.0)), y + i, v);
+      }
+      break;
+    case LoopKind::kGather:
+    case LoopKind::kShortGather:
+      for (std::size_t i = 0; i < n; i += kW) {
+        const auto pg = SV::whilelt(i, n);
+        SV::st1(pg, y + i, SV::gather(pg, x, idx + i));
+      }
+      break;
+    case LoopKind::kScatter:
+    case LoopKind::kShortScatter:
+      for (std::size_t i = 0; i < n; i += kW) {
+        const auto pg = SV::whilelt(i, n);
+        SV::scatter(pg, y, idx + i, SV::ld1(pg, x + i));
+      }
+      break;
+    default:
+      throw std::logic_error("run_fig1_impl: math kernels dispatch via vecmath");
+  }
+}
+
+}  // namespace ookami::loops::detail

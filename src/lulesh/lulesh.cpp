@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "lulesh_backends.hpp"
 #include "ookami/common/timer.hpp"
 #include "ookami/sve/sve.hpp"
 #include "ookami/trace/trace.hpp"
@@ -291,6 +292,17 @@ Outcome run_sedov(const Options& opt) {
       OOKAMI_TRACE_SCOPE_IO("lulesh/kinematics",
                             static_cast<double>(s.nnode()) * 8.0 * (8.0 * 4.0 + 10.0),
                             static_cast<double>(s.nnode()) * 70.0);
+      if (const auto* native = detail::active_lulesh_kernels()) {
+        // Row-wise decomposition keeps element offsets contiguous along
+        // k; disjoint rows make the parallel split race-free.
+        const auto nrows = static_cast<std::size_t>(s.nn) * static_cast<std::size_t>(s.nn);
+        pool.parallel_for(0, nrows, [&](std::size_t rb, std::size_t re, unsigned) {
+          native->kinematics_rows(n, s.nn, dt, s.press.data(), s.qvisc.data(), s.bx.data(),
+                                  s.by.data(), s.bz.data(), s.nmass.data(), s.xd.data(),
+                                  s.yd.data(), s.zd.data(), s.x.data(), s.y.data(), s.z.data(),
+                                  rb, re);
+        });
+      } else {
       pool.parallel_for(0, s.nnode(), [&](std::size_t b, std::size_t e, unsigned) {
         for (std::size_t g = b; g < e; ++g) {
           const int i = static_cast<int>(g) / (s.nn * s.nn);
@@ -319,6 +331,7 @@ Outcome run_sedov(const Options& opt) {
           s.z[g] += dt * s.zd[g];
         }
       });
+      }
     }
 
     // Internal-energy update: dE = -(p+q) * grad(V) . v_mid * dt.  The

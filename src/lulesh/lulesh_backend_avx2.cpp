@@ -1,0 +1,15 @@
+// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
+// through runtime dispatch after a CPUID check.
+#include "lulesh_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+
+#include "lulesh_kernel_impl.hpp"
+
+namespace ookami::lulesh::detail {
+
+const LuleshKernels kLuleshAvx2 = {&kinematics_rows_impl<simd::arch::avx2>};
+
+}  // namespace ookami::lulesh::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX2

@@ -1,0 +1,13 @@
+#include "lulesh_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+
+#include "lulesh_kernel_impl.hpp"
+
+namespace ookami::lulesh::detail {
+
+const LuleshKernels kLuleshSse2 = {&kinematics_rows_impl<simd::arch::sse2>};
+
+}  // namespace ookami::lulesh::detail
+
+#endif  // OOKAMI_SIMD_HAVE_SSE2

@@ -1,0 +1,46 @@
+#pragma once
+// Private runtime-dispatch table for the LULESH kinematics kernel (same
+// pattern as hpcc/gemm_backends.hpp; scalar backend = nullptr table,
+// run_sedov falls through to the original node loop).
+
+#include <cstddef>
+
+#include "ookami/simd/backend.hpp"
+
+namespace ookami::lulesh::detail {
+
+struct LuleshKernels {
+  // Nodal force gather + velocity/position update over node *rows*
+  // [row_begin, row_end): row r covers nodes g = r*nn + k, k in [0, nn),
+  // with i = r/nn and j = r%nn fixed per row.  Row decomposition makes
+  // the element offsets contiguous in the fastest (k) dimension and the
+  // i/j boundary guards uniform across a whole row.
+  void (*kinematics_rows)(int n, int nn, double dt, const double* press, const double* qvisc,
+                          const double* bx, const double* by, const double* bz,
+                          const double* nmass, double* xd, double* yd, double* zd, double* x,
+                          double* y, double* z, std::size_t row_begin, std::size_t row_end);
+};
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+extern const LuleshKernels kLuleshSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+extern const LuleshKernels kLuleshAvx2;
+#endif
+
+inline const LuleshKernels* active_lulesh_kernels() {
+  switch (simd::active_backend()) {
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+    case simd::Backend::kSse2:
+      return &kLuleshSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+    case simd::Backend::kAvx2:
+      return &kLuleshAvx2;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace ookami::lulesh::detail

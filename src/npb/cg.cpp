@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "cg_backends.hpp"
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/randdp.hpp"
 #include "ookami/trace/trace.hpp"
@@ -145,7 +146,12 @@ void spmv(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>&
   OOKAMI_TRACE_SCOPE_IO("cg/spmv",
                         12.0 * static_cast<double>(a.nnz()) + 8.0 * static_cast<double>(a.n),
                         2.0 * static_cast<double>(a.nnz()));
+  const auto* native = detail::active_cg_kernels();
   pool.parallel_for(0, static_cast<std::size_t>(a.n), [&](std::size_t b, std::size_t e, unsigned) {
+    if (native != nullptr) {
+      native->spmv_range(a.rowstr.data(), a.colidx.data(), a.a.data(), x.data(), y.data(), b, e);
+      return;
+    }
     for (std::size_t row = b; row < e; ++row) {
       double sum = 0.0;
       for (int k = a.rowstr[row]; k < a.rowstr[row + 1]; ++k) {

@@ -1,0 +1,15 @@
+// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
+// through runtime dispatch after a CPUID check.
+#include "cg_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+
+#include "cg_kernel_impl.hpp"
+
+namespace ookami::npb::detail {
+
+const CgKernels kCgAvx2 = {&spmv_range_impl<simd::arch::avx2>};
+
+}  // namespace ookami::npb::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX2

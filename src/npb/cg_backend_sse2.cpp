@@ -1,0 +1,13 @@
+#include "cg_backends.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+
+#include "cg_kernel_impl.hpp"
+
+namespace ookami::npb::detail {
+
+const CgKernels kCgSse2 = {&spmv_range_impl<simd::arch::sse2>};
+
+}  // namespace ookami::npb::detail
+
+#endif  // OOKAMI_SIMD_HAVE_SSE2

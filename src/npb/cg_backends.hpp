@@ -1,0 +1,43 @@
+#pragma once
+// Private runtime-dispatch table for the CG CSR SpMV kernel (same
+// pattern as hpcc/gemm_backends.hpp; scalar backend = nullptr table,
+// callers fall through to the original row loop).
+
+#include <cstddef>
+
+#include "ookami/simd/backend.hpp"
+
+namespace ookami::npb::detail {
+
+struct CgKernels {
+  // y[row] = sum_k a[k] * x[colidx[k]] for rows in [row_begin, row_end).
+  // Row partial sums use 4-lane vectors; the lane reduction reorders the
+  // per-row sum relative to the scalar loop (CG's verification tolerance
+  // absorbs this).
+  void (*spmv_range)(const int* rowstr, const int* colidx, const double* a, const double* x,
+                     double* y, std::size_t row_begin, std::size_t row_end);
+};
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+extern const CgKernels kCgSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+extern const CgKernels kCgAvx2;
+#endif
+
+inline const CgKernels* active_cg_kernels() {
+  switch (simd::active_backend()) {
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+    case simd::Backend::kSse2:
+      return &kCgSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+    case simd::Backend::kAvx2:
+      return &kCgAvx2;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace ookami::npb::detail

@@ -1,0 +1,40 @@
+#pragma once
+// Arch-templated CSR SpMV, instantiated per native backend from
+// cg_backend_*.cpp.  4-wide partial sums with a hardware gather over the
+// column indices (the CG rows are short -- ~nonzer entries -- so the
+// scalar remainder loop matters and stays simple).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ookami/simd/batch.hpp"
+#include "ookami/simd/batch_avx2.hpp"
+#include "ookami/simd/batch_sse2.hpp"
+
+namespace ookami::npb::detail {
+
+template <class A>
+void spmv_range_impl(const int* rowstr, const int* colidx, const double* a, const double* x,
+                     double* y, std::size_t row_begin, std::size_t row_end) {
+  using V = simd::batch<double, 4, A>;
+  using M = simd::mask<4, A>;
+  const M all = M::ptrue();
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    const int k1 = rowstr[row + 1];
+    int k = rowstr[row];
+    V acc = V::dup(0.0);
+    for (; k + 4 <= k1; k += 4) {
+      // colidx entries are non-negative ints: reinterpreting as uint32
+      // matches the gather's index type exactly.
+      const V xv = V::gather(all, x, reinterpret_cast<const std::uint32_t*>(colidx + k));
+      acc = simd::mul_add(V::load(a + k), xv, acc);
+    }
+    double sum = simd::reduce_add(acc);
+    for (; k < k1; ++k) {
+      sum += a[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(colidx[k])];
+    }
+    y[row] = sum;
+  }
+}
+
+}  // namespace ookami::npb::detail

@@ -1,0 +1,454 @@
+#pragma once
+// SSE2 backend: batch<T, N, arch::sse2> as an array of N/2 128-bit
+// registers.  SSE2 is the x86-64 baseline, so this specialization is
+// usable from any x86-64 translation unit; it exists mainly as the
+// guaranteed-available native backend and as the dispatch fallback when
+// AVX2 is compiled in but not detected at runtime.
+//
+// Exactness notes (vs the scalar reference in batch.hpp):
+//  * fma falls back to per-lane std::fma — still a single rounding, so
+//    fma-based kernels stay bit-identical to the scalar backend.
+//  * frintn falls back to per-lane std::nearbyint (no SSE4.1 round).
+//  * min/max use _mm_min_pd/_mm_max_pd, whose a<b?a:b select matches
+//    the scalar reference exactly (including the NaN-operand cases).
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "ookami/simd/arch.hpp"
+#include "ookami/simd/batch.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace ookami::simd {
+
+template <int N>
+struct mask<N, arch::sse2> {
+  static_assert(N % 2 == 0, "sse2 batches hold 2 doubles per register");
+  static constexpr int kChunks = N / 2;
+  __m128d r[kChunks];
+
+  static mask ptrue() {
+    mask m;
+    const __m128d ones = _mm_castsi128_pd(_mm_set1_epi64x(-1));
+    for (int k = 0; k < kChunks; ++k) m.r[k] = ones;
+    return m;
+  }
+  static mask pfalse() {
+    mask m;
+    for (int k = 0; k < kChunks; ++k) m.r[k] = _mm_setzero_pd();
+    return m;
+  }
+  static mask whilelt(std::size_t i, std::size_t n) {
+    mask m;
+    for (int k = 0; k < kChunks; ++k) {
+      const std::size_t l0 = i + static_cast<std::size_t>(2 * k);
+      m.r[k] = _mm_castsi128_pd(_mm_set_epi64x(l0 + 1 < n ? -1 : 0, l0 < n ? -1 : 0));
+    }
+    return m;
+  }
+
+  [[nodiscard]] int bits() const {
+    int b = 0;
+    for (int k = 0; k < kChunks; ++k) b |= _mm_movemask_pd(r[k]) << (2 * k);
+    return b;
+  }
+  [[nodiscard]] bool any() const { return bits() != 0; }
+  [[nodiscard]] bool all() const { return bits() == (1 << N) - 1; }
+  [[nodiscard]] bool lane(int i) const { return (bits() >> i) & 1; }
+
+  friend mask operator&(const mask& x, const mask& y) {
+    mask m;
+    for (int k = 0; k < kChunks; ++k) m.r[k] = _mm_and_pd(x.r[k], y.r[k]);
+    return m;
+  }
+  friend mask operator|(const mask& x, const mask& y) {
+    mask m;
+    for (int k = 0; k < kChunks; ++k) m.r[k] = _mm_or_pd(x.r[k], y.r[k]);
+    return m;
+  }
+  friend mask operator!(const mask& x) {
+    mask m;
+    const __m128d ones = _mm_castsi128_pd(_mm_set1_epi64x(-1));
+    for (int k = 0; k < kChunks; ++k) m.r[k] = _mm_andnot_pd(x.r[k], ones);
+    return m;
+  }
+};
+
+template <int N>
+struct batch<double, N, arch::sse2> {
+  static_assert(N % 2 == 0);
+  static constexpr int kChunks = N / 2;
+  using pred = mask<N, arch::sse2>;
+  __m128d r[kChunks];
+
+  static batch dup(double x) {
+    batch b;
+    for (int k = 0; k < kChunks; ++k) b.r[k] = _mm_set1_pd(x);
+    return b;
+  }
+  static batch load(const double* p) {
+    batch b;
+    for (int k = 0; k < kChunks; ++k) b.r[k] = _mm_loadu_pd(p + 2 * k);
+    return b;
+  }
+  static batch ld1(const pred& pg, const double* p) {
+    // Guarded per-lane loads: an inactive lane's address is never read.
+    const int bits = pg.bits();
+    batch b;
+    for (int k = 0; k < kChunks; ++k) {
+      const double lo = (bits >> (2 * k)) & 1 ? p[2 * k] : 0.0;
+      const double hi = (bits >> (2 * k + 1)) & 1 ? p[2 * k + 1] : 0.0;
+      b.r[k] = _mm_set_pd(hi, lo);
+    }
+    return b;
+  }
+  static batch from_array(const std::array<double, N>& a) { return load(a.data()); }
+  static batch gather(const pred& pg, const double* base, const std::uint32_t* idx) {
+    const int bits = pg.bits();
+    batch b;
+    for (int k = 0; k < kChunks; ++k) {
+      const double lo = (bits >> (2 * k)) & 1 ? base[idx[2 * k]] : 0.0;
+      const double hi = (bits >> (2 * k + 1)) & 1 ? base[idx[2 * k + 1]] : 0.0;
+      b.r[k] = _mm_set_pd(hi, lo);
+    }
+    return b;
+  }
+  static batch gather(const pred& pg, const double* base, const std::int64_t* idx) {
+    const int bits = pg.bits();
+    batch b;
+    for (int k = 0; k < kChunks; ++k) {
+      const double lo = (bits >> (2 * k)) & 1 ? base[idx[2 * k]] : 0.0;
+      const double hi = (bits >> (2 * k + 1)) & 1 ? base[idx[2 * k + 1]] : 0.0;
+      b.r[k] = _mm_set_pd(hi, lo);
+    }
+    return b;
+  }
+
+  void store(double* p) const {
+    for (int k = 0; k < kChunks; ++k) _mm_storeu_pd(p + 2 * k, r[k]);
+  }
+  void st1(const pred& pg, double* p) const {
+    const int bits = pg.bits();
+    std::array<double, N> t;
+    store(t.data());
+    for (int i = 0; i < N; ++i)
+      if ((bits >> i) & 1) p[i] = t[static_cast<std::size_t>(i)];
+  }
+  void scatter(const pred& pg, double* base, const std::uint32_t* idx) const {
+    const int bits = pg.bits();
+    std::array<double, N> t;
+    store(t.data());
+    for (int i = 0; i < N; ++i)
+      if ((bits >> i) & 1) base[idx[i]] = t[static_cast<std::size_t>(i)];
+  }
+  void scatter(const pred& pg, double* base, const std::int64_t* idx) const {
+    const int bits = pg.bits();
+    std::array<double, N> t;
+    store(t.data());
+    for (int i = 0; i < N; ++i)
+      if ((bits >> i) & 1) base[idx[i]] = t[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::array<double, N> to_array() const {
+    std::array<double, N> a;
+    store(a.data());
+    return a;
+  }
+  [[nodiscard]] double lane(int i) const { return to_array()[static_cast<std::size_t>(i)]; }
+
+  friend batch operator+(const batch& a, const batch& b) {
+    batch c;
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_add_pd(a.r[k], b.r[k]);
+    return c;
+  }
+  friend batch operator-(const batch& a, const batch& b) {
+    batch c;
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_sub_pd(a.r[k], b.r[k]);
+    return c;
+  }
+  friend batch operator*(const batch& a, const batch& b) {
+    batch c;
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_mul_pd(a.r[k], b.r[k]);
+    return c;
+  }
+  friend batch operator/(const batch& a, const batch& b) {
+    batch c;
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_div_pd(a.r[k], b.r[k]);
+    return c;
+  }
+  friend batch operator-(const batch& a) {
+    batch c;
+    const __m128d sign = _mm_castsi128_pd(_mm_set1_epi64x(0x8000000000000000ll));
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_xor_pd(a.r[k], sign);
+    return c;
+  }
+};
+
+template <int N>
+struct batch<std::int64_t, N, arch::sse2> {
+  static_assert(N % 2 == 0);
+  static constexpr int kChunks = N / 2;
+  using pred = mask<N, arch::sse2>;
+  __m128i r[kChunks];
+
+  static batch dup(std::int64_t x) {
+    batch b;
+    for (int k = 0; k < kChunks; ++k) b.r[k] = _mm_set1_epi64x(x);
+    return b;
+  }
+  static batch from_array(const std::array<std::int64_t, N>& a) {
+    batch b;
+    for (int k = 0; k < kChunks; ++k)
+      b.r[k] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + 2 * k));
+    return b;
+  }
+  static batch gather_table(const std::uint64_t* table, const batch& idx) {
+    const std::array<std::int64_t, N> ix = idx.to_array();
+    std::array<std::int64_t, N> out;
+    for (int i = 0; i < N; ++i) out[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(table[ix[static_cast<std::size_t>(i)]]);
+    return from_array(out);
+  }
+  [[nodiscard]] std::array<std::int64_t, N> to_array() const {
+    std::array<std::int64_t, N> a;
+    for (int k = 0; k < kChunks; ++k)
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a.data() + 2 * k), r[k]);
+    return a;
+  }
+  [[nodiscard]] std::int64_t lane(int i) const { return to_array()[static_cast<std::size_t>(i)]; }
+
+  friend batch operator+(const batch& a, const batch& b) {
+    batch c;
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_add_epi64(a.r[k], b.r[k]);
+    return c;
+  }
+  friend batch operator&(const batch& a, const batch& b) {
+    batch c;
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_and_si128(a.r[k], b.r[k]);
+    return c;
+  }
+  friend batch operator|(const batch& a, const batch& b) {
+    batch c;
+    for (int k = 0; k < kChunks; ++k) c.r[k] = _mm_or_si128(a.r[k], b.r[k]);
+    return c;
+  }
+};
+
+template <int N>
+inline batch<double, N, arch::sse2> fma(const batch<double, N, arch::sse2>& a,
+                                        const batch<double, N, arch::sse2>& b,
+                                        const batch<double, N, arch::sse2>& c) {
+  // No FMA instruction at this ISA level; per-lane std::fma keeps the
+  // single-rounding contract (and bit-equality with the scalar backend).
+  const std::array<double, N> x = a.to_array(), y = b.to_array(), z = c.to_array();
+  std::array<double, N> o;
+  for (int i = 0; i < N; ++i)
+    o[static_cast<std::size_t>(i)] = std::fma(x[static_cast<std::size_t>(i)], y[static_cast<std::size_t>(i)], z[static_cast<std::size_t>(i)]);
+  return batch<double, N, arch::sse2>::from_array(o);
+}
+
+/// Fastest a*b + c at this ISA level: mulpd + addpd, two roundings.
+template <int N>
+inline batch<double, N, arch::sse2> mul_add(const batch<double, N, arch::sse2>& a,
+                                            const batch<double, N, arch::sse2>& b,
+                                            const batch<double, N, arch::sse2>& c) {
+  batch<double, N, arch::sse2> o;
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    o.r[k] = _mm_add_pd(_mm_mul_pd(a.r[k], b.r[k]), c.r[k]);
+  return o;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> sel(const mask<N, arch::sse2>& pg,
+                                        const batch<double, N, arch::sse2>& a,
+                                        const batch<double, N, arch::sse2>& b) {
+  batch<double, N, arch::sse2> c;
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_or_pd(_mm_and_pd(pg.r[k], a.r[k]), _mm_andnot_pd(pg.r[k], b.r[k]));
+  return c;
+}
+
+template <int N>
+inline batch<std::int64_t, N, arch::sse2> sel(const mask<N, arch::sse2>& pg,
+                                              const batch<std::int64_t, N, arch::sse2>& a,
+                                              const batch<std::int64_t, N, arch::sse2>& b) {
+  batch<std::int64_t, N, arch::sse2> c;
+  for (int k = 0; k < batch<std::int64_t, N, arch::sse2>::kChunks; ++k) {
+    const __m128i m = _mm_castpd_si128(pg.r[k]);
+    c.r[k] = _mm_or_si128(_mm_and_si128(m, a.r[k]), _mm_andnot_si128(m, b.r[k]));
+  }
+  return c;
+}
+
+#define OOKAMI_SIMD_SSE2_CMP(fn, intrin)                                            \
+  template <int N>                                                                  \
+  inline mask<N, arch::sse2> fn(const mask<N, arch::sse2>& pg,                      \
+                                const batch<double, N, arch::sse2>& a,              \
+                                const batch<double, N, arch::sse2>& b) {            \
+    mask<N, arch::sse2> m;                                                          \
+    for (int k = 0; k < mask<N, arch::sse2>::kChunks; ++k)                          \
+      m.r[k] = _mm_and_pd(pg.r[k], intrin(a.r[k], b.r[k]));                         \
+    return m;                                                                       \
+  }
+OOKAMI_SIMD_SSE2_CMP(cmpgt, _mm_cmpgt_pd)
+OOKAMI_SIMD_SSE2_CMP(cmpge, _mm_cmpge_pd)
+OOKAMI_SIMD_SSE2_CMP(cmplt, _mm_cmplt_pd)
+OOKAMI_SIMD_SSE2_CMP(cmple, _mm_cmple_pd)
+#undef OOKAMI_SIMD_SSE2_CMP
+
+template <int N>
+inline mask<N, arch::sse2> cmpuo(const mask<N, arch::sse2>& pg,
+                                 const batch<double, N, arch::sse2>& a) {
+  mask<N, arch::sse2> m;
+  for (int k = 0; k < mask<N, arch::sse2>::kChunks; ++k)
+    m.r[k] = _mm_and_pd(pg.r[k], _mm_cmpunord_pd(a.r[k], a.r[k]));
+  return m;
+}
+
+template <int N>
+inline mask<N, arch::sse2> cmpge(const batch<std::int64_t, N, arch::sse2>& a,
+                                 const batch<std::int64_t, N, arch::sse2>& b) {
+  // SSE2 has no 64-bit signed compare; lower to per-lane.
+  const std::array<std::int64_t, N> x = a.to_array(), y = b.to_array();
+  mask<N, arch::sse2> m;
+  for (int k = 0; k < mask<N, arch::sse2>::kChunks; ++k)
+    m.r[k] = _mm_castsi128_pd(_mm_set_epi64x(x[2 * k + 1] >= y[2 * k + 1] ? -1 : 0,
+                                             x[2 * k] >= y[2 * k] ? -1 : 0));
+  return m;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> abs(const batch<double, N, arch::sse2>& a) {
+  batch<double, N, arch::sse2> c;
+  const __m128d magmask = _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffll));
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_and_pd(a.r[k], magmask);
+  return c;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> min(const batch<double, N, arch::sse2>& a,
+                                        const batch<double, N, arch::sse2>& b) {
+  batch<double, N, arch::sse2> c;
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    // MINPD keeps src1 when src1<src2, else src2 (NaN/±0 ties -> src2),
+    // which is exactly the scalar reference a<b?a:b.
+    c.r[k] = _mm_min_pd(a.r[k], b.r[k]);
+  return c;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> max(const batch<double, N, arch::sse2>& a,
+                                        const batch<double, N, arch::sse2>& b) {
+  batch<double, N, arch::sse2> c;
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_max_pd(a.r[k], b.r[k]);  // a>b?a:b (unordered/tie -> b)
+  return c;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> sqrt(const batch<double, N, arch::sse2>& a) {
+  batch<double, N, arch::sse2> c;
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k) c.r[k] = _mm_sqrt_pd(a.r[k]);
+  return c;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> copysign(const batch<double, N, arch::sse2>& mag,
+                                             const batch<double, N, arch::sse2>& sgn) {
+  batch<double, N, arch::sse2> c;
+  const __m128d sign = _mm_castsi128_pd(_mm_set1_epi64x(0x8000000000000000ll));
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_or_pd(_mm_andnot_pd(sign, mag.r[k]), _mm_and_pd(sign, sgn.r[k]));
+  return c;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> frintn(const batch<double, N, arch::sse2>& a) {
+  // No SSE4.1 _mm_round_pd at this ISA level.
+  const std::array<double, N> x = a.to_array();
+  std::array<double, N> o;
+  for (int i = 0; i < N; ++i) o[static_cast<std::size_t>(i)] = std::nearbyint(x[static_cast<std::size_t>(i)]);
+  return batch<double, N, arch::sse2>::from_array(o);
+}
+
+template <int N>
+inline batch<std::int64_t, N, arch::sse2> cvt_s64(const batch<double, N, arch::sse2>& a) {
+  batch<std::int64_t, N, arch::sse2> c;
+  const __m128d magic = _mm_set1_pd(0x1.8p52);
+  const __m128i magic_bits = _mm_set1_epi64x(0x4338000000000000ll);
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_sub_epi64(_mm_castpd_si128(_mm_add_pd(a.r[k], magic)), magic_bits);
+  return c;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> cvt_f64(const batch<std::int64_t, N, arch::sse2>& a) {
+  batch<double, N, arch::sse2> c;
+  const __m128i magic_bits = _mm_set1_epi64x(0x4338000000000000ll);
+  const __m128d magic = _mm_set1_pd(0x1.8p52);
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_sub_pd(_mm_castsi128_pd(_mm_add_epi64(a.r[k], magic_bits)), magic);
+  return c;
+}
+
+template <int N>
+inline batch<std::int64_t, N, arch::sse2> bitcast_s64(const batch<double, N, arch::sse2>& a) {
+  batch<std::int64_t, N, arch::sse2> c;
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k) c.r[k] = _mm_castpd_si128(a.r[k]);
+  return c;
+}
+
+template <int N>
+inline batch<double, N, arch::sse2> bitcast_f64(const batch<std::int64_t, N, arch::sse2>& a) {
+  batch<double, N, arch::sse2> c;
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k) c.r[k] = _mm_castsi128_pd(a.r[k]);
+  return c;
+}
+
+template <int N>
+inline batch<std::int64_t, N, arch::sse2> shr(const batch<std::int64_t, N, arch::sse2>& a, int s) {
+  batch<std::int64_t, N, arch::sse2> c;
+  for (int k = 0; k < batch<std::int64_t, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_srli_epi64(a.r[k], s);
+  return c;
+}
+
+template <int N>
+inline batch<std::int64_t, N, arch::sse2> shl(const batch<std::int64_t, N, arch::sse2>& a, int s) {
+  batch<std::int64_t, N, arch::sse2> c;
+  for (int k = 0; k < batch<std::int64_t, N, arch::sse2>::kChunks; ++k)
+    c.r[k] = _mm_slli_epi64(a.r[k], s);
+  return c;
+}
+
+template <int N>
+inline double reduce_add(const batch<double, N, arch::sse2>& a) {
+  // Pairwise, matching the scalar reference's reduction shape.
+  __m128d acc[batch<double, N, arch::sse2>::kChunks];
+  for (int k = 0; k < batch<double, N, arch::sse2>::kChunks; ++k) acc[k] = a.r[k];
+  int n = batch<double, N, arch::sse2>::kChunks;
+  while (n > 1) {
+    for (int k = 0; k < n / 2; ++k) acc[k] = _mm_add_pd(acc[k], acc[k + n / 2]);
+    n /= 2;
+  }
+  return _mm_cvtsd_f64(acc[0]) + _mm_cvtsd_f64(_mm_unpackhi_pd(acc[0], acc[0]));
+}
+
+template <int N>
+inline double reduce_add_ordered(const mask<N, arch::sse2>& pg,
+                                 const batch<double, N, arch::sse2>& a) {
+  const int bits = pg.bits();
+  const std::array<double, N> t = a.to_array();
+  double s = 0.0;
+  for (int i = 0; i < N; ++i)
+    if ((bits >> i) & 1) s += t[static_cast<std::size_t>(i)];
+  return s;
+}
+
+}  // namespace ookami::simd
+
+#endif  // __SSE2__

@@ -1,0 +1,63 @@
+#pragma once
+// Private dispatch table for the vecmath array drivers.
+//
+// Each native backend contributes one table of function pointers,
+// defined in a translation unit compiled with the matching instruction
+// set (backend_sse2.cpp, backend_avx2.cpp).  The public array functions
+// look the table up by simd::active_backend() on entry; a null result
+// (scalar backend, or a backend not compiled into this binary) falls
+// through to the original ookami::sve reference loop, which keeps the
+// scalar path byte-for-byte what it was before dispatch existed.
+
+#include <span>
+
+#include "ookami/simd/backend.hpp"
+#include "ookami/vecmath/exp.hpp"
+#include "ookami/vecmath/recip_sqrt.hpp"
+
+namespace ookami::vecmath::detail {
+
+struct BackendKernels {
+  void (*exp_array)(std::span<const double>, std::span<double>, LoopShape, PolyScheme,
+                    Rounding);
+  void (*log_array)(std::span<const double>, std::span<double>);
+  void (*pow_array)(std::span<const double>, std::span<const double>, std::span<double>);
+  void (*sin_array)(std::span<const double>, std::span<double>);
+  void (*cos_array)(std::span<const double>, std::span<double>);
+  void (*exp2_array)(std::span<const double>, std::span<double>);
+  void (*expm1_array)(std::span<const double>, std::span<double>);
+  void (*log1p_array)(std::span<const double>, std::span<double>);
+  void (*tanh_array)(std::span<const double>, std::span<double>);
+  void (*recip_array)(std::span<const double>, std::span<double>, DivSqrtStrategy);
+  void (*sqrt_array)(std::span<const double>, std::span<double>, DivSqrtStrategy);
+};
+
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+extern const BackendKernels kKernelsSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+extern const BackendKernels kKernelsAvx2;
+#endif
+
+/// Kernel table for `b`, or nullptr for the scalar reference path.
+inline const BackendKernels* backend_kernels(simd::Backend b) {
+  switch (b) {
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+    case simd::Backend::kSse2:
+      return &kKernelsSse2;
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+    case simd::Backend::kAvx2:
+      return &kKernelsAvx2;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+/// Table for the currently active backend (nullptr -> scalar reference).
+inline const BackendKernels* active_kernels() {
+  return backend_kernels(simd::active_backend());
+}
+
+}  // namespace ookami::vecmath::detail

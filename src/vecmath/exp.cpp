@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "backends.hpp"
 #include "ookami/sve/fexpa.hpp"
 
 namespace ookami::vecmath {
@@ -134,6 +135,10 @@ double exp_scalar(double x) {
 
 void exp_array(std::span<const double> x, std::span<double> y, LoopShape shape,
                PolyScheme scheme, Rounding rounding) {
+  if (const auto* k = detail::active_kernels()) {
+    k->exp_array(x, y, shape, scheme, rounding);
+    return;
+  }
   const std::size_t n = x.size();
   auto body = [&](const sve::Pred& pg, std::size_t i) {
     const Vec in = sve::ld1(pg, x.data() + i);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "backends.hpp"
 #include "ookami/sve/fexpa.hpp"
 #include "ookami/vecmath/log_pow.hpp"
 
@@ -144,15 +145,31 @@ void drive(std::span<const double> x, std::span<double> y, Fn&& fn) {
 }  // namespace
 
 void exp2_array(std::span<const double> x, std::span<double> y) {
+  if (const auto* k = detail::active_kernels()) {
+    k->exp2_array(x, y);
+    return;
+  }
   drive(x, y, [](const Vec& v) { return exp2(v); });
 }
 void expm1_array(std::span<const double> x, std::span<double> y) {
+  if (const auto* k = detail::active_kernels()) {
+    k->expm1_array(x, y);
+    return;
+  }
   drive(x, y, [](const Vec& v) { return expm1(v); });
 }
 void log1p_array(std::span<const double> x, std::span<double> y) {
+  if (const auto* k = detail::active_kernels()) {
+    k->log1p_array(x, y);
+    return;
+  }
   drive(x, y, [](const Vec& v) { return log1p(v); });
 }
 void tanh_array(std::span<const double> x, std::span<double> y) {
+  if (const auto* k = detail::active_kernels()) {
+    k->tanh_array(x, y);
+    return;
+  }
   drive(x, y, [](const Vec& v) { return tanh(v); });
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "backends.hpp"
 #include "ookami/vecmath/exp.hpp"
 
 namespace ookami::vecmath {
@@ -99,6 +100,10 @@ Vec pow(const Vec& x, const Vec& y) {
 }
 
 void log_array(std::span<const double> x, std::span<double> y) {
+  if (const auto* k = detail::active_kernels()) {
+    k->log_array(x, y);
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
     const sve::Pred pg = sve::whilelt(i, x.size());
     sve::st1(pg, y.data() + i, log(sve::ld1(pg, x.data() + i)));
@@ -106,6 +111,10 @@ void log_array(std::span<const double> x, std::span<double> y) {
 }
 
 void pow_array(std::span<const double> x, std::span<const double> y, std::span<double> z) {
+  if (const auto* k = detail::active_kernels()) {
+    k->pow_array(x, y, z);
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
     const sve::Pred pg = sve::whilelt(i, x.size());
     sve::st1(pg, z.data() + i, pow(sve::ld1(pg, x.data() + i), sve::ld1(pg, y.data() + i)));

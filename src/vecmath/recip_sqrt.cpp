@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "backends.hpp"
 #include "ookami/sve/fexpa.hpp"
 
 namespace ookami::vecmath {
@@ -62,6 +63,10 @@ void drive(std::span<const double> x, std::span<double> y, Fn&& fn) {
 }  // namespace
 
 void recip_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy strategy) {
+  if (const auto* k = detail::active_kernels()) {
+    k->recip_array(x, y, strategy);
+    return;
+  }
   if (strategy == DivSqrtStrategy::kNewton) {
     drive(x, y, [](const Vec& v) { return recip_newton(v); });
   } else {
@@ -70,6 +75,10 @@ void recip_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy
 }
 
 void sqrt_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy strategy) {
+  if (const auto* k = detail::active_kernels()) {
+    k->sqrt_array(x, y, strategy);
+    return;
+  }
   if (strategy == DivSqrtStrategy::kNewton) {
     drive(x, y, [](const Vec& v) { return sqrt_newton(v); });
   } else {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "backends.hpp"
+
 namespace ookami::vecmath {
 
 namespace {
@@ -78,6 +80,10 @@ Vec sin(const Vec& x) { return sincos_impl(x, 0); }
 Vec cos(const Vec& x) { return sincos_impl(x, 1); }
 
 void sin_array(std::span<const double> x, std::span<double> y) {
+  if (const auto* k = detail::active_kernels()) {
+    k->sin_array(x, y);
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
     const sve::Pred pg = sve::whilelt(i, x.size());
     sve::st1(pg, y.data() + i, sin(sve::ld1(pg, x.data() + i)));
@@ -85,6 +91,10 @@ void sin_array(std::span<const double> x, std::span<double> y) {
 }
 
 void cos_array(std::span<const double> x, std::span<double> y) {
+  if (const auto* k = detail::active_kernels()) {
+    k->cos_array(x, y);
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
     const sve::Pred pg = sve::whilelt(i, x.size());
     sve::st1(pg, y.data() + i, cos(sve::ld1(pg, x.data() + i)));

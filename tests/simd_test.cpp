@@ -1,0 +1,148 @@
+// Tests for the fixed-width SIMD layer: backend selection/clamping, the
+// batch op set per compiled backend (cross-checked against the scalar
+// batch bit-for-bit), gather/scatter edge cases (unaligned pointers,
+// partial final predicates, negative 64-bit offsets), the FEXPA /
+// estimate-op bit cross-check against the sve reference, and the hot
+// kernels (DGEMM, fig1 loops) forced onto every backend.
+//
+// The templated check bodies live in simd_test_checks.hpp; the AVX2
+// instantiations are built in simd_test_avx2.cpp with -mavx2/-mfma
+// because the avx2 batch specializations only exist under those flags.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ookami/hpcc/hpcc.hpp"
+#include "ookami/loops/kernels.hpp"
+#include "ookami/simd/backend.hpp"
+#include "simd_test_checks.hpp"
+
+namespace ookami::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+TEST(Backend, NamesRoundTrip) {
+  for (Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+    Backend parsed{};
+    ASSERT_TRUE(parse_backend(backend_name(b), parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  Backend out = Backend::kAvx2;
+  EXPECT_FALSE(parse_backend("neon", out));
+  EXPECT_FALSE(parse_backend("AVX2", out));  // tokens are case-sensitive
+  EXPECT_EQ(out, Backend::kAvx2);            // untouched on failure
+}
+
+TEST(Backend, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(backend_compiled(Backend::kScalar));
+  EXPECT_TRUE(backend_supported(Backend::kScalar));
+  EXPECT_EQ(clamp_backend(Backend::kScalar), Backend::kScalar);
+}
+
+TEST(Backend, ClampNeverExceedsRequest) {
+  for (Backend req : {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+    const Backend got = clamp_backend(req);
+    EXPECT_LE(static_cast<int>(got), static_cast<int>(req));
+    EXPECT_TRUE(backend_compiled(got));
+    EXPECT_TRUE(backend_supported(got));
+  }
+}
+
+TEST(Backend, DetectedIsCompiledAndSupported) {
+  const Backend b = detected_backend();
+  EXPECT_TRUE(backend_compiled(b));
+  EXPECT_TRUE(backend_supported(b));
+}
+
+TEST(Backend, ScopedOverrideAppliesAndRestores) {
+  const Backend before = active_backend();
+  {
+    ScopedBackend force(Backend::kScalar);
+    EXPECT_EQ(force.effective(), Backend::kScalar);
+    EXPECT_EQ(active_backend(), Backend::kScalar);
+    {
+      // Nested override wins, then unwinds to the outer one.
+      ScopedBackend inner(detected_backend());
+      EXPECT_EQ(active_backend(), detected_backend());
+    }
+    EXPECT_EQ(active_backend(), Backend::kScalar);
+  }
+  EXPECT_EQ(active_backend(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Batch ops / predication / gather-scatter / fexpa / estimates, per arch
+// ---------------------------------------------------------------------------
+
+TEST(BatchOps, ScalarSelfConsistent) { testing::expect_batch_matches_scalar<arch::scalar>(); }
+TEST(BatchPredication, Scalar) { testing::expect_whilelt_and_tail<arch::scalar>(); }
+TEST(GatherScatter, Scalar) { testing::expect_gather_scatter_edges<arch::scalar>(); }
+TEST(FexpaBits, Scalar) { testing::expect_fexpa_bit_identical<arch::scalar>(); }
+TEST(EstimateOps, Scalar) { testing::expect_estimates_bit_identical<arch::scalar>(); }
+
+// SSE2 is the x86-64 baseline, so these instantiate in this TU.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+TEST(BatchOps, Sse2MatchesScalar) { testing::expect_batch_matches_scalar<arch::sse2>(); }
+TEST(BatchPredication, Sse2) { testing::expect_whilelt_and_tail<arch::sse2>(); }
+TEST(GatherScatter, Sse2) { testing::expect_gather_scatter_edges<arch::sse2>(); }
+TEST(FexpaBits, Sse2) { testing::expect_fexpa_bit_identical<arch::sse2>(); }
+TEST(EstimateOps, Sse2) { testing::expect_estimates_bit_identical<arch::sse2>(); }
+#endif
+
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+#define OOKAMI_AVX2_TEST(suite, name, fn)                                 \
+  TEST(suite, name) {                                                     \
+    if (!backend_supported(Backend::kAvx2)) GTEST_SKIP() << "no AVX2 on this CPU"; \
+    testing::fn();                                                        \
+  }
+OOKAMI_AVX2_TEST(BatchOps, Avx2MatchesScalar, avx2_batch_matches_scalar)
+OOKAMI_AVX2_TEST(BatchPredication, Avx2, avx2_whilelt_and_tail)
+OOKAMI_AVX2_TEST(GatherScatter, Avx2, avx2_gather_scatter_edges)
+OOKAMI_AVX2_TEST(FexpaBits, Avx2, avx2_fexpa_bit_identical)
+OOKAMI_AVX2_TEST(EstimateOps, Avx2, avx2_estimates_bit_identical)
+#undef OOKAMI_AVX2_TEST
+#endif
+
+// ---------------------------------------------------------------------------
+// Hot kernels forced onto every available backend
+// ---------------------------------------------------------------------------
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> v = {Backend::kScalar};
+  for (Backend b : {Backend::kSse2, Backend::kAvx2}) {
+    if (backend_compiled(b) && backend_supported(b)) v.push_back(b);
+  }
+  return v;
+}
+
+TEST(KernelsPerBackend, DgemmMatchesNaive) {
+  for (Backend b : available_backends()) {
+    ScopedBackend force(b);
+    for (std::size_t n : {64u, 100u, 129u}) {
+      const double tol = 1e-11 * static_cast<double>(n);
+      EXPECT_LE(hpcc::dgemm_check(hpcc::GemmImpl::kBlocked, n, 2), tol)
+          << backend_name(b) << " blocked n=" << n;
+      EXPECT_LE(hpcc::dgemm_check(hpcc::GemmImpl::kTuned, n, 2), tol)
+          << backend_name(b) << " tuned n=" << n;
+    }
+  }
+}
+
+TEST(KernelsPerBackend, Fig1LoopsMatchScalarReference) {
+  for (Backend b : available_backends()) {
+    ScopedBackend force(b);
+    for (loops::LoopKind kind : loops::fig1_loop_kinds()) {
+      for (std::size_t n : {8u, 13u, 256u}) {
+        EXPECT_LE(loops::max_ulp_scalar_vs_sve(kind, n, 23), 1.0)
+            << backend_name(b) << " " << loops::loop_name(kind) << " n=" << n;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ookami::simd

@@ -1,0 +1,20 @@
+// AVX2 instantiations of the shared simd check bodies.  This TU is
+// compiled with -mavx2/-mfma (see ookami_add_avx2_kernel in
+// tests/CMakeLists.txt) so the avx2 batch specializations exist here;
+// simd_test.cpp only calls these after backend_supported(kAvx2).
+
+#include "simd_test_checks.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace ookami::simd::testing {
+
+void avx2_batch_matches_scalar() { expect_batch_matches_scalar<arch::avx2>(); }
+void avx2_whilelt_and_tail() { expect_whilelt_and_tail<arch::avx2>(); }
+void avx2_gather_scatter_edges() { expect_gather_scatter_edges<arch::avx2>(); }
+void avx2_fexpa_bit_identical() { expect_fexpa_bit_identical<arch::avx2>(); }
+void avx2_estimates_bit_identical() { expect_estimates_bit_identical<arch::avx2>(); }
+
+}  // namespace ookami::simd::testing
+
+#endif
