@@ -15,6 +15,7 @@ namespace {
 struct SeriesView {
   std::string name;
   std::string unit;
+  std::string backend;  ///< recorded "backend" ("" in pre-field files)
   bool lower_is_better = true;
   bool has_metric = false;
   double metric = 0.0;
@@ -36,6 +37,7 @@ std::vector<SeriesView> extract_series(const json::Value& doc, const std::string
     v.name = s.string_or("name", "");
     if (v.name.empty()) throw std::runtime_error("series entry without a name");
     v.unit = s.string_or("unit", "");
+    v.backend = s.string_or("backend", "");
     v.lower_is_better = s.string_or("better", "lower") != "higher";
     const json::Value* m = s.find(metric);
     if (m && m->is_number() && std::isfinite(m->as_number())) {
@@ -81,6 +83,15 @@ DiffReport diff(const json::Value& before, const json::Value& after, const DiffO
       if (opts.fail_on_missing) ++report.regressions;
       report.deltas.push_back(std::move(d));
       continue;
+    }
+    // Both sides present: surface a backend change on the shared series
+    // regardless of whether the numbers moved — it is the first thing
+    // to look at when they did.
+    d.backend_before = b.backend;
+    d.backend_after = a->backend;
+    if (!b.backend.empty() && !a->backend.empty() && b.backend != a->backend) {
+      d.backend_changed = true;
+      ++report.backend_changes;
     }
     if (!b.has_metric || !a->has_metric) {
       d.status = SeriesDelta::Status::kNoData;
@@ -159,6 +170,7 @@ json::Value diff_to_json(const DiffReport& report) {
   doc.set("regressions", report.regressions);
   doc.set("added", report.added);
   doc.set("removed", report.removed);
+  doc.set("backend_changes", report.backend_changes);
   json::Value deltas = json::Value::array();
   for (const auto& d : report.deltas) {
     json::Value v = json::Value::object();
@@ -171,6 +183,11 @@ json::Value diff_to_json(const DiffReport& report) {
                        ? json::Value(d.after)
                        : json::Value());
     v.set("ratio", compared ? json::Value(d.ratio) : json::Value());
+    if (d.backend_changed) {
+      v.set("backend_changed", true);
+      v.set("backend_before", d.backend_before);
+      v.set("backend_after", d.backend_after);
+    }
     deltas.push_back(std::move(v));
   }
   doc.set("deltas", std::move(deltas));
@@ -207,6 +224,15 @@ std::string render_diff(const DiffReport& report) {
   if (report.added > 0 || report.removed > 0) {
     os << "series: " << report.added << " added (informational), " << report.removed
        << " removed (gate failure under --strict)\n";
+  }
+  if (report.backend_changes > 0) {
+    os << "WARNING: " << report.backend_changes
+       << " series changed backend between the runs (non-fatal):\n";
+    for (const auto& d : report.deltas) {
+      if (d.backend_changed) {
+        os << "  " << d.name << ": " << d.backend_before << " -> " << d.backend_after << "\n";
+      }
+    }
   }
   if (report.regressions > 0) {
     os << "VERDICT: " << report.regressions << " series regressed beyond "

@@ -78,8 +78,9 @@ Environment capture_environment() {
   // variables are archived; the harness separately records the
   // effective trace on/off state in the environment JSON.
   static const char* const kRelevantEnv[] = {
-      "OOKAMI_THREADS", "OOKAMI_TRACE", "OOKAMI_SIMD_BACKEND", "OMP_NUM_THREADS",
-      "OMP_PROC_BIND",  "OMP_PLACES",   "GOMP_CPU_AFFINITY",
+      "OOKAMI_THREADS",        "OOKAMI_TRACE", "OOKAMI_SIMD_BACKEND",
+      "OOKAMI_KERNEL_BACKEND", "OMP_NUM_THREADS", "OMP_PROC_BIND",
+      "OMP_PLACES",            "GOMP_CPU_AFFINITY",
   };
   for (const char* name : kRelevantEnv) {
     if (const char* value = std::getenv(name)) env.runtime_env.emplace_back(name, value);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ookami/common/timer.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/harness/profile.hpp"
 #include "ookami/simd/backend.hpp"
 #include "ookami/trace/export.hpp"
@@ -74,6 +75,10 @@ std::string Options::usage() {
          "                    also OOKAMI_METRICS_BACKEND=software)\n"
          "  --filter SUBSTR   only run benches whose name contains SUBSTR\n"
          "  --list            print registered bench names and exit\n"
+         "  --list-kernels    print the kernel registry manifest and exit: one\n"
+         "                    'name<TAB>scalar[,sse2[,avx2]]' line per registered\n"
+         "                    kernel (per-kernel overrides via OOKAMI_KERNEL_BACKEND,\n"
+         "                    e.g. \"hpcc.dgemm=sse2,vecmath.*=scalar\")\n"
          "  --help            this message\n";
 }
 
@@ -109,6 +114,11 @@ json::Value Series::to_json(bool keep_samples) const {
   v.set("kind", kind);
   v.set("better", direction == Direction::kLowerIsBetter ? "lower" : "higher");
   v.set("backend", backend);
+  if (!kernel_backends.empty()) {
+    json::Value kb = json::Value::object();
+    for (const auto& [kernel, b] : kernel_backends) kb.set(kernel, b);
+    v.set("kernel_backends", std::move(kb));
+  }
   v.set("count", static_cast<double>(stats.count()));
   // An empty Summary has no measurements; emit explicit nulls rather
   // than a plausible-looking 0.0 (non-finite doubles also serialize as
@@ -139,6 +149,10 @@ Run::Run(std::string name, Options opts)
 
 const Summary& Run::time(const std::string& series, const std::function<void()>& fn,
                          const std::string& unit) {
+  // Observe which registry kernels resolve (and to which post-clamp
+  // variant) while this series runs, so the archived JSON records what
+  // the series actually exercised — per-kernel overrides included.
+  dispatch::begin_observation();
   for (int i = 0; i < opts_.warmup; ++i) fn();
   // Under --metrics every repeat also lands in a log-bucketed latency
   // histogram so run-to-run variability survives into the archive
@@ -162,8 +176,18 @@ const Summary& Run::time(const std::string& series, const std::function<void()>&
       break;
     }
   }
-  series_.push_back({series, unit, "timed", Direction::kLowerIsBetter, std::move(s),
-                     simd::backend_name(simd::active_backend())});
+  Series out{series, unit, "timed", Direction::kLowerIsBetter, std::move(s),
+             simd::backend_name(simd::active_backend()), {}};
+  const auto observed = dispatch::take_observation();
+  if (!observed.empty()) {
+    bool uniform = true;
+    for (const auto& [kernel, b] : observed) {
+      out.kernel_backends.emplace_back(kernel, simd::backend_name(b));
+      if (b != observed.front().second) uniform = false;
+    }
+    out.backend = uniform ? simd::backend_name(observed.front().second) : "mixed";
+  }
+  series_.push_back(std::move(out));
   return series_.back().stats;
 }
 
@@ -327,6 +351,12 @@ int run_main(int argc, char** argv) {
   }
   if (cli.has("list")) {
     for (const auto& r : registry()) std::printf("%s\n", r.name.c_str());
+    return 0;
+  }
+  if (cli.has("list-kernels")) {
+    // The registered kernels are a property of the linked modules, not
+    // of any bench: print the manifest and exit without running one.
+    std::printf("%s", dispatch::manifest().c_str());
     return 0;
   }
   const Options opts = Options::from_cli(cli);

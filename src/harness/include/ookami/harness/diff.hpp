@@ -39,6 +39,14 @@ struct SeriesDelta {
   double after = 0.0;
   double ratio = 0.0;  ///< after / before
   Status status = Status::kOk;
+  /// Recorded "backend" of the series on each side ("" when the file
+  /// predates the field).  A change is reported as a warning, never a
+  /// gate failure: the numbers are still comparable measurements, but a
+  /// kernel that silently moved from avx2 to scalar explains a slowdown
+  /// better than any threshold does.
+  std::string backend_before;
+  std::string backend_after;
+  bool backend_changed = false;
 };
 
 struct DiffReport {
@@ -50,6 +58,7 @@ struct DiffReport {
   int regressions = 0;
   int added = 0;    ///< series only in `after` (informational)
   int removed = 0;  ///< series only in `before` (gates under fail_on_missing)
+  int backend_changes = 0;  ///< shared series whose recorded backend differs (warning)
 
   [[nodiscard]] bool ok() const { return regressions == 0; }
 };

@@ -114,9 +114,15 @@ struct Series {
   std::string kind;  ///< "timed" or "recorded"
   Direction direction = Direction::kLowerIsBetter;
   Summary stats;
-  /// SIMD backend active when the series was registered (series recorded
-  /// under a ScopedBackend override keep their own identity).
+  /// SIMD backend the series actually exercised.  Timed series that
+  /// resolved registry kernels report the observed post-clamp variant
+  /// ("mixed" when different kernels resolved differently, e.g. under a
+  /// per-kernel OOKAMI_KERNEL_BACKEND override); otherwise the backend
+  /// active when the series was registered.
   std::string backend;
+  /// Registry kernels resolved while the series ran, as (kernel,
+  /// post-clamp backend) pairs — empty when the series touched none.
+  std::vector<std::pair<std::string, std::string>> kernel_backends;
 
   [[nodiscard]] json::Value to_json(bool keep_samples) const;
 };

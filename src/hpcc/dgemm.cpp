@@ -2,15 +2,30 @@
 #include <cmath>
 #include <cstring>
 
-#include "gemm_backends.hpp"
 #include "ookami/common/aligned.hpp"
 #include "ookami/common/rng.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/hpcc/hpcc.hpp"
+#include "ookami/simd/backend.hpp"
 #include "ookami/trace/trace.hpp"
+
+// Pull the per-arch variant-registration TUs out of the static library.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(gemm_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(gemm_avx2)
+#endif
 
 namespace ookami::hpcc {
 
 namespace {
+
+// Packed cache-blocked C = A*B (row-major, n x n).  `pool` == nullptr
+// means serial (kBlocked); non-null threads over row blocks (kTuned).
+// Scalar resolution keeps gemm_blocked(), the original reference code.
+using GemmPackedFn = void(std::size_t, const double*, const double*, double*, ThreadPool*);
+const dispatch::kernel_table<GemmPackedFn> kGemmTable("hpcc.dgemm");
 
 constexpr std::size_t kBlock = 64;  // cache block (64^2 doubles = 32 KB/panel)
 
@@ -69,30 +84,64 @@ void dgemm(GemmImpl impl, std::size_t n, const double* a, const double* b, doubl
   // and re-streams B, but the annotation records algorithmic traffic).
   const double n_d = static_cast<double>(n);
   OOKAMI_TRACE_SCOPE_IO("hpcc/dgemm", 3.0 * n_d * n_d * 8.0, 2.0 * n_d * n_d * n_d);
-  // kBlocked/kTuned use the packed microkernel when a native SIMD
-  // backend is active; the scalar backend keeps the original blocked
-  // reference code so baseline numbers stay comparable.
-  const auto* native = detail::active_gemm_kernels();
+  // kBlocked/kTuned use the packed microkernel when "hpcc.dgemm"
+  // resolves to a native variant; the scalar backend keeps the original
+  // blocked reference code so baseline numbers stay comparable.
+  GemmPackedFn* native = kGemmTable.resolve();
   switch (impl) {
     case GemmImpl::kNaive:
       gemm_naive(n, a, b, c);
       return;
     case GemmImpl::kBlocked:
       if (native != nullptr) {
-        native->gemm_packed(n, a, b, c, nullptr);
+        native(n, a, b, c, nullptr);
       } else {
         gemm_blocked(n, a, b, c, nullptr);
       }
       return;
     case GemmImpl::kTuned:
       if (native != nullptr) {
-        native->gemm_packed(n, a, b, c, &pool);
+        native(n, a, b, c, &pool);
       } else {
         gemm_blocked(n, a, b, c, &pool);
       }
       return;
   }
 }
+
+namespace {
+
+/// Registry equivalence check: blocked and pool-threaded tuned GEMM
+/// under a forced backend against the scalar reference path.  n = 96
+/// crosses the 64-wide cache-block boundary; the packed microkernel
+/// reorders the k-accumulation, so the bound is absolute, not zero.
+double check_gemm(simd::Backend bk) {
+  const std::size_t n = 96;
+  ThreadPool pool(2);
+  avec<double> a(n * n), b(n * n), ref(n * n), got(n * n);
+  Xoshiro256 rng(2027);
+  fill_uniform({a.data(), a.size()}, -1.0, 1.0, rng);
+  fill_uniform({b.data(), b.size()}, -1.0, 1.0, rng);
+  double worst = 0.0;
+  for (GemmImpl impl : {GemmImpl::kBlocked, GemmImpl::kTuned}) {
+    {
+      simd::ScopedBackend force(simd::Backend::kScalar);
+      dgemm(impl, n, a.data(), b.data(), ref.data(), pool);
+    }
+    {
+      simd::ScopedBackend force(bk);
+      dgemm(impl, n, a.data(), b.data(), got.data(), pool);
+    }
+    for (std::size_t i = 0; i < n * n; ++i) {
+      worst = std::max(worst, std::fabs(ref[i] - got[i]));
+    }
+  }
+  return worst;
+}
+
+const dispatch::check_registrar kGemmCheck("hpcc.dgemm", &check_gemm, 1e-10);
+
+}  // namespace
 
 double dgemm_check(GemmImpl impl, std::size_t n, unsigned threads) {
   ThreadPool pool(threads);

@@ -1,15 +1,23 @@
-// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
-// through runtime dispatch after a CPUID check.
-#include "gemm_backends.hpp"
+// AVX2 variant-registration stub for the packed DGEMM microkernel.
+// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); the variant
+// is reached only through registry dispatch after a CPUID check.
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 
 #include "gemm_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(gemm_avx2)
+
 namespace ookami::hpcc::detail {
+namespace {
 
-const GemmKernels kGemmAvx2 = {&PackedGemm<simd::arch::avx2>::run};
+using GemmPackedFn = void(std::size_t, const double*, const double*, double*, ThreadPool*);
 
+const dispatch::variant_registrar<GemmPackedFn> kRegGemm(
+    "hpcc.dgemm", simd::Backend::kAvx2, &PackedGemm<simd::arch::avx2>::run);
+
+}  // namespace
 }  // namespace ookami::hpcc::detail
 
 #endif  // OOKAMI_SIMD_HAVE_AVX2

@@ -1,13 +1,23 @@
-#include "gemm_backends.hpp"
+// SSE2 variant-registration stub for the packed DGEMM microkernel.  SSE2
+// is the x86-64 baseline so this TU needs no extra compile flags; it is
+// only built on x86 targets (see src/hpcc/CMakeLists.txt).
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_SSE2)
 
 #include "gemm_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(gemm_sse2)
+
 namespace ookami::hpcc::detail {
+namespace {
 
-const GemmKernels kGemmSse2 = {&PackedGemm<simd::arch::sse2>::run};
+using GemmPackedFn = void(std::size_t, const double*, const double*, double*, ThreadPool*);
 
+const dispatch::variant_registrar<GemmPackedFn> kRegGemm(
+    "hpcc.dgemm", simd::Backend::kSse2, &PackedGemm<simd::arch::sse2>::run);
+
+}  // namespace
 }  // namespace ookami::hpcc::detail
 
 #endif  // OOKAMI_SIMD_HAVE_SSE2

@@ -1,13 +1,60 @@
 #include "ookami/loops/kernels.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
-#include "loops_backends.hpp"
+#include "ookami/dispatch/registry.hpp"
+#include "ookami/simd/backend.hpp"
 #include "ookami/sve/sve.hpp"
 #include "ookami/vecmath/vecmath.hpp"
 
+// Pull the per-arch variant-registration TUs out of the static library
+// (they self-register into the kernel registry; nothing else names them).
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(loops_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(loops_avx2)
+#endif
+
 namespace ookami::loops {
+
+namespace {
+
+// The fig1 kinds run on whichever native variant "loops.fig1" resolves
+// to; the math kinds already dispatch inside vecmath's array drivers.
+// resolve() == nullptr keeps the original 8-lane emulation loops below.
+using Fig1Fn = void(LoopKind, const double*, double*, const std::uint32_t*, std::size_t);
+const dispatch::kernel_table<Fig1Fn> kFig1Table("loops.fig1");
+
+/// Registry equivalence check: every fig1 kind under a forced backend
+/// against the scalar emulation path.  The native kernels are exact
+/// transcriptions onto the same op set, so the bound is zero ULP.
+double check_fig1(simd::Backend b) {
+  double worst = 0.0;
+  for (LoopKind kind : fig1_loop_kinds()) {
+    LoopData ref = make_loop_data(kind, 1003, 77);
+    LoopData got = make_loop_data(kind, 1003, 77);
+    {
+      simd::ScopedBackend force(simd::Backend::kScalar);
+      run_sve(kind, ref);
+    }
+    {
+      simd::ScopedBackend force(b);
+      run_sve(kind, got);
+    }
+    for (std::size_t i = 0; i < ref.y.size(); ++i) {
+      worst = std::max(worst,
+                       static_cast<double>(vecmath::ulp_distance(ref.y[i], got.y[i])));
+    }
+  }
+  return worst;
+}
+
+const dispatch::check_registrar kFig1Check("loops.fig1", &check_fig1, 0.0);
+
+}  // namespace
 
 std::vector<LoopKind> fig1_loop_kinds() {
   return {LoopKind::kSimple,      LoopKind::kPredicate,    LoopKind::kGather,
@@ -189,8 +236,8 @@ void run_sve(LoopKind kind, LoopData& d) {
   const double* x = d.x.data();
   double* y = d.y.data();
 
-  // Fig. 1 kinds run on the active native backend when one is compiled
-  // in; the math kinds already dispatch inside vecmath's array drivers.
+  // Fig. 1 kinds run on the variant "loops.fig1" resolves to; the math
+  // kinds already dispatch inside vecmath's array drivers.
   switch (kind) {
     case LoopKind::kSimple:
     case LoopKind::kPredicate:
@@ -198,8 +245,8 @@ void run_sve(LoopKind kind, LoopData& d) {
     case LoopKind::kScatter:
     case LoopKind::kShortGather:
     case LoopKind::kShortScatter:
-      if (const auto* nk = detail::active_loops_kernels()) {
-        nk->run_fig1(kind, x, y, d.index.empty() ? nullptr : d.index.data(), n);
+      if (Fig1Fn* fn = kFig1Table.resolve()) {
+        fn(kind, x, y, d.index.empty() ? nullptr : d.index.data(), n);
         return;
       }
       break;

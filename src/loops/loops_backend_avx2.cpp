@@ -1,15 +1,23 @@
+// AVX2+FMA variant-registration stub for the Figure 1 loop kernels.
 // Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
-// through runtime dispatch after a CPUID check.
-#include "loops_backends.hpp"
+// through registry dispatch after a CPUID check.
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 
 #include "loops_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(loops_avx2)
+
 namespace ookami::loops::detail {
+namespace {
 
-const LoopsKernels kLoopsAvx2 = {&run_fig1_impl<simd::arch::avx2>};
+using Fig1Fn = void(LoopKind, const double*, double*, const std::uint32_t*, std::size_t);
 
+const dispatch::variant_registrar<Fig1Fn> kRegFig1(
+    "loops.fig1", simd::Backend::kAvx2, &run_fig1_impl<simd::arch::avx2>);
+
+}  // namespace
 }  // namespace ookami::loops::detail
 
 #endif  // OOKAMI_SIMD_HAVE_AVX2

@@ -1,13 +1,23 @@
-#include "loops_backends.hpp"
+// SSE2 variant-registration stub for the Figure 1 loop kernels.  SSE2 is
+// the x86-64 baseline so this TU needs no extra compile flags; it is
+// only built on x86 targets (see src/loops/CMakeLists.txt).
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_SSE2)
 
 #include "loops_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(loops_sse2)
+
 namespace ookami::loops::detail {
+namespace {
 
-const LoopsKernels kLoopsSse2 = {&run_fig1_impl<simd::arch::sse2>};
+using Fig1Fn = void(LoopKind, const double*, double*, const std::uint32_t*, std::size_t);
 
+const dispatch::variant_registrar<Fig1Fn> kRegFig1(
+    "loops.fig1", simd::Backend::kSse2, &run_fig1_impl<simd::arch::sse2>);
+
+}  // namespace
 }  // namespace ookami::loops::detail
 
 #endif  // OOKAMI_SIMD_HAVE_SSE2

@@ -1,15 +1,25 @@
-// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
-// through runtime dispatch after a CPUID check.
-#include "lulesh_backends.hpp"
+// AVX2 variant-registration stub for the LULESH kinematics kernel.
+// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); the variant
+// is reached only through registry dispatch after a CPUID check.
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 
 #include "lulesh_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(lulesh_avx2)
+
 namespace ookami::lulesh::detail {
+namespace {
 
-const LuleshKernels kLuleshAvx2 = {&kinematics_rows_impl<simd::arch::avx2>};
+using KinematicsRowsFn = void(int, int, double, const double*, const double*, const double*,
+                              const double*, const double*, const double*, double*, double*,
+                              double*, double*, double*, double*, std::size_t, std::size_t);
 
+const dispatch::variant_registrar<KinematicsRowsFn> kRegKinematics(
+    "lulesh.kinematics", simd::Backend::kAvx2, &kinematics_rows_impl<simd::arch::avx2>);
+
+}  // namespace
 }  // namespace ookami::lulesh::detail
 
 #endif  // OOKAMI_SIMD_HAVE_AVX2

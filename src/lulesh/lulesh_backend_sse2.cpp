@@ -1,13 +1,25 @@
-#include "lulesh_backends.hpp"
+// SSE2 variant-registration stub for the LULESH kinematics kernel.  SSE2
+// is the x86-64 baseline so this TU needs no extra compile flags; it is
+// only built on x86 targets (see src/lulesh/CMakeLists.txt).
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_SSE2)
 
 #include "lulesh_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(lulesh_sse2)
+
 namespace ookami::lulesh::detail {
+namespace {
 
-const LuleshKernels kLuleshSse2 = {&kinematics_rows_impl<simd::arch::sse2>};
+using KinematicsRowsFn = void(int, int, double, const double*, const double*, const double*,
+                              const double*, const double*, const double*, double*, double*,
+                              double*, double*, double*, double*, std::size_t, std::size_t);
 
+const dispatch::variant_registrar<KinematicsRowsFn> kRegKinematics(
+    "lulesh.kinematics", simd::Backend::kSse2, &kinematics_rows_impl<simd::arch::sse2>);
+
+}  // namespace
 }  // namespace ookami::lulesh::detail
 
 #endif  // OOKAMI_SIMD_HAVE_SSE2

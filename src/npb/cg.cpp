@@ -5,10 +5,19 @@
 #include <cstdlib>
 #include <numeric>
 
-#include "cg_backends.hpp"
 #include "ookami/common/timer.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/npb/randdp.hpp"
+#include "ookami/simd/backend.hpp"
 #include "ookami/trace/trace.hpp"
+
+// Pull the per-arch variant-registration TUs out of the static library.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(cg_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(cg_avx2)
+#endif
 
 namespace ookami::npb {
 
@@ -16,6 +25,13 @@ namespace {
 
 constexpr double kRcond = 0.1;
 constexpr int kCgIterations = 25;
+
+// y[row] = sum_k a[k] * x[colidx[k]] for rows in [row_begin, row_end).
+// Native variants use 4-lane partial sums whose lane reduction reorders
+// the per-row sum; scalar resolution keeps the original row loop below.
+using SpmvRangeFn = void(const int*, const int*, const double*, const double*, double*,
+                         std::size_t, std::size_t);
+const dispatch::kernel_table<SpmvRangeFn> kSpmvTable("npb.cg.spmv");
 
 /// NPB LCG stream used by makea (tran/amult in the reference).
 struct MakeaRng {
@@ -146,10 +162,12 @@ void spmv(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>&
   OOKAMI_TRACE_SCOPE_IO("cg/spmv",
                         12.0 * static_cast<double>(a.nnz()) + 8.0 * static_cast<double>(a.n),
                         2.0 * static_cast<double>(a.nnz()));
-  const auto* native = detail::active_cg_kernels();
+  // Resolve once, outside the pool: the worker threads must all run the
+  // same variant, and resolution is cheapest on the calling thread.
+  SpmvRangeFn* native = kSpmvTable.resolve();
   pool.parallel_for(0, static_cast<std::size_t>(a.n), [&](std::size_t b, std::size_t e, unsigned) {
     if (native != nullptr) {
-      native->spmv_range(a.rowstr.data(), a.colidx.data(), a.a.data(), x.data(), y.data(), b, e);
+      native(a.rowstr.data(), a.colidx.data(), a.a.data(), x.data(), y.data(), b, e);
       return;
     }
     for (std::size_t row = b; row < e; ++row) {
@@ -164,6 +182,36 @@ void spmv(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>&
 }
 
 namespace {
+
+/// Registry equivalence check: SpMV on a small makea matrix under a
+/// forced backend against the scalar row loop, reported as worst
+/// per-row relative error.  The 4-lane partial sums reorder each row's
+/// accumulation, so the bound is a small relative tolerance, not zero.
+double check_spmv(simd::Backend bk) {
+  const CsrMatrix a = cg_makea(600, 8, 12.0);
+  std::vector<double> x(static_cast<std::size_t>(a.n));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.37 * static_cast<double>(i + 1));
+  }
+  std::vector<double> ref(x.size(), 0.0), got(x.size(), 0.0);
+  ThreadPool pool(1);
+  {
+    simd::ScopedBackend force(simd::Backend::kScalar);
+    spmv(a, x, ref, pool);
+  }
+  {
+    simd::ScopedBackend force(bk);
+    spmv(a, x, got, pool);
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double scale = std::max(std::fabs(ref[i]), 1.0);
+    worst = std::max(worst, std::fabs(ref[i] - got[i]) / scale);
+  }
+  return worst;
+}
+
+const dispatch::check_registrar kSpmvCheck("npb.cg.spmv", &check_spmv, 1e-12);
 
 double dot(const std::vector<double>& x, const std::vector<double>& y, ThreadPool& pool) {
   OOKAMI_TRACE_SCOPE_IO("cg/dot", 16.0 * static_cast<double>(x.size()),

@@ -1,15 +1,24 @@
-// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); reached only
-// through runtime dispatch after a CPUID check.
-#include "cg_backends.hpp"
+// AVX2 variant-registration stub for the CG CSR SpMV kernel.  Compiled
+// with -mavx2 -mfma (see ookami_add_avx2_kernel); the variant is reached
+// only through registry dispatch after a CPUID check.
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 
 #include "cg_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(cg_avx2)
+
 namespace ookami::npb::detail {
+namespace {
 
-const CgKernels kCgAvx2 = {&spmv_range_impl<simd::arch::avx2>};
+using SpmvRangeFn = void(const int*, const int*, const double*, const double*, double*,
+                         std::size_t, std::size_t);
 
+const dispatch::variant_registrar<SpmvRangeFn> kRegSpmv(
+    "npb.cg.spmv", simd::Backend::kAvx2, &spmv_range_impl<simd::arch::avx2>);
+
+}  // namespace
 }  // namespace ookami::npb::detail
 
 #endif  // OOKAMI_SIMD_HAVE_AVX2

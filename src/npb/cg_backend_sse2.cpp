@@ -1,13 +1,24 @@
-#include "cg_backends.hpp"
+// SSE2 variant-registration stub for the CG CSR SpMV kernel.  SSE2 is
+// the x86-64 baseline so this TU needs no extra compile flags; it is
+// only built on x86 targets (see src/npb/CMakeLists.txt).
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_SSE2)
 
 #include "cg_kernel_impl.hpp"
 
+OOKAMI_DISPATCH_VARIANT_TU(cg_sse2)
+
 namespace ookami::npb::detail {
+namespace {
 
-const CgKernels kCgSse2 = {&spmv_range_impl<simd::arch::sse2>};
+using SpmvRangeFn = void(const int*, const int*, const double*, const double*, double*,
+                         std::size_t, std::size_t);
 
+const dispatch::variant_registrar<SpmvRangeFn> kRegSpmv(
+    "npb.cg.spmv", simd::Backend::kSse2, &spmv_range_impl<simd::arch::sse2>);
+
+}  // namespace
 }  // namespace ookami::npb::detail
 
 #endif  // OOKAMI_SIMD_HAVE_SSE2

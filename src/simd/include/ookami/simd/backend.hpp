@@ -45,6 +45,11 @@ Backend detected_backend();
 /// The backend dispatch tables should use right now.
 Backend active_backend();
 
+/// True while a ScopedBackend override is in force.  The kernel registry
+/// (ookami::dispatch) uses this to keep the PR-4 precedence intact:
+/// a ScopedBackend outranks any per-kernel OOKAMI_KERNEL_BACKEND rule.
+bool scoped_backend_active();
+
 /// Clamp `b` to the best available backend that does not exceed it.
 Backend clamp_backend(Backend b);
 

@@ -1,27 +1,23 @@
-// AVX2+FMA instantiation of the vecmath kernels.  This TU is compiled
-// with -mavx2 -mfma (see ookami_add_avx2_kernel in the top-level
-// CMakeLists); runtime dispatch guarantees it is only entered on CPUs
-// that support those instruction sets.
-
-#include "backends.hpp"
+// AVX2 variant-registration stub for the vecmath array kernels.
+// Compiled with -mavx2 -mfma (see ookami_add_avx2_kernel); the variants
+// are reached only through registry dispatch after a CPUID check.
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 
-#include "kernels_impl.hpp"
+#include "backend_register.hpp"
+
+OOKAMI_DISPATCH_VARIANT_TU(vecmath_avx2)
 
 namespace ookami::vecmath::detail {
-
 namespace {
-using SV = simd::sve_api<simd::arch::avx2>;
-}
 
-const BackendKernels kKernelsAvx2 = {
-    &exp_array_impl<SV>,  &log_array_impl<SV>,   &pow_array_impl<SV>,
-    &sin_array_impl<SV>,  &cos_array_impl<SV>,   &exp2_array_impl<SV>,
-    &expm1_array_impl<SV>, &log1p_array_impl<SV>, &tanh_array_impl<SV>,
-    &recip_array_impl<SV>, &sqrt_array_impl<SV>,
-};
+const bool kRegistered = [] {
+  register_vecmath_variants<simd::sve_api<simd::arch::avx2>>(simd::Backend::kAvx2);
+  return true;
+}();
 
+}  // namespace
 }  // namespace ookami::vecmath::detail
 
 #endif  // OOKAMI_SIMD_HAVE_AVX2

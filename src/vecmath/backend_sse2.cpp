@@ -1,26 +1,23 @@
-// SSE2 instantiation of the vecmath kernels.  SSE2 is the x86-64
-// baseline so this TU needs no extra compile flags; it is only built on
-// x86 targets (see src/vecmath/CMakeLists.txt).
-
-#include "backends.hpp"
+// SSE2 variant-registration stub for the vecmath array kernels.  SSE2 is
+// the x86-64 baseline so this TU needs no extra compile flags; it is
+// only built on x86 targets (see src/vecmath/CMakeLists.txt).
+#include "ookami/dispatch/registry.hpp"
 
 #if defined(OOKAMI_SIMD_HAVE_SSE2)
 
-#include "kernels_impl.hpp"
+#include "backend_register.hpp"
+
+OOKAMI_DISPATCH_VARIANT_TU(vecmath_sse2)
 
 namespace ookami::vecmath::detail {
-
 namespace {
-using SV = simd::sve_api<simd::arch::sse2>;
-}
 
-const BackendKernels kKernelsSse2 = {
-    &exp_array_impl<SV>,  &log_array_impl<SV>,   &pow_array_impl<SV>,
-    &sin_array_impl<SV>,  &cos_array_impl<SV>,   &exp2_array_impl<SV>,
-    &expm1_array_impl<SV>, &log1p_array_impl<SV>, &tanh_array_impl<SV>,
-    &recip_array_impl<SV>, &sqrt_array_impl<SV>,
-};
+const bool kRegistered = [] {
+  register_vecmath_variants<simd::sve_api<simd::arch::sse2>>(simd::Backend::kSse2);
+  return true;
+}();
 
+}  // namespace
 }  // namespace ookami::vecmath::detail
 
 #endif  // OOKAMI_SIMD_HAVE_SSE2

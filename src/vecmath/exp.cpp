@@ -2,8 +2,17 @@
 
 #include <cmath>
 
-#include "backends.hpp"
+#include "backend_check.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/sve/fexpa.hpp"
+
+// Pull the per-arch variant-registration TUs out of the static library.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
+#endif
 
 namespace ookami::vecmath {
 
@@ -12,6 +21,20 @@ namespace {
 using sve::Vec;
 using sve::VecS64;
 using sve::VecU64;
+
+// Native variant of the exp array driver; scalar resolution falls
+// through to the original sve-emulation loop below.
+using ExpArrayFn = void(std::span<const double>, std::span<double>, LoopShape, PolyScheme,
+                        Rounding);
+const dispatch::kernel_table<ExpArrayFn> kExpTable("vecmath.exp");
+
+double check_exp(simd::Backend b) {
+  return detail::backend_ulp_check(b, -750.0, 750.0, [](auto in, auto out) {
+    exp_array(in, out, LoopShape::kVla, PolyScheme::kEstrin, Rounding::kCorrected);
+  });
+}
+
+const dispatch::check_registrar kExpCheck("vecmath.exp", &check_exp, 2.0);
 
 // 64/log(2) and the two-part split of log(2)/64 (Cody-Waite).  The high
 // part has its low 21 bits zeroed so n * kLn2Hi64 is exact for |n| < 2^21.
@@ -135,8 +158,8 @@ double exp_scalar(double x) {
 
 void exp_array(std::span<const double> x, std::span<double> y, LoopShape shape,
                PolyScheme scheme, Rounding rounding) {
-  if (const auto* k = detail::active_kernels()) {
-    k->exp_array(x, y, shape, scheme, rounding);
+  if (ExpArrayFn* fn = kExpTable.resolve()) {
+    fn(x, y, shape, scheme, rounding);
     return;
   }
   const std::size_t n = x.size();

@@ -3,13 +3,52 @@
 #include <cmath>
 #include <limits>
 
-#include "backends.hpp"
+#include "backend_check.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/sve/fexpa.hpp"
 #include "ookami/vecmath/log_pow.hpp"
+
+// Pull the per-arch variant-registration TUs out of the static library.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
+#endif
 
 namespace ookami::vecmath {
 
 namespace {
+
+// Native variants of the exp2/expm1/log1p/tanh array drivers; scalar
+// resolution falls through to the original sve-emulation loops below.
+using UnaryArrayFn = void(std::span<const double>, std::span<double>);
+const dispatch::kernel_table<UnaryArrayFn> kExp2Table("vecmath.exp2");
+const dispatch::kernel_table<UnaryArrayFn> kExpm1Table("vecmath.expm1");
+const dispatch::kernel_table<UnaryArrayFn> kLog1pTable("vecmath.log1p");
+const dispatch::kernel_table<UnaryArrayFn> kTanhTable("vecmath.tanh");
+
+double check_exp2(simd::Backend b) {
+  return detail::backend_ulp_check(b, -1080.0, 1080.0,
+                                   [](auto in, auto out) { exp2_array(in, out); });
+}
+double check_expm1(simd::Backend b) {
+  return detail::backend_ulp_check(b, -40.0, 720.0,
+                                   [](auto in, auto out) { expm1_array(in, out); });
+}
+double check_log1p(simd::Backend b) {
+  return detail::backend_ulp_check(b, -0.9999, 1e6,
+                                   [](auto in, auto out) { log1p_array(in, out); });
+}
+double check_tanh(simd::Backend b) {
+  return detail::backend_ulp_check(b, -25.0, 25.0,
+                                   [](auto in, auto out) { tanh_array(in, out); });
+}
+
+const dispatch::check_registrar kExp2Check("vecmath.exp2", &check_exp2, 2.0);
+const dispatch::check_registrar kExpm1Check("vecmath.expm1", &check_expm1, 2.0);
+const dispatch::check_registrar kLog1pCheck("vecmath.log1p", &check_log1p, 2.0);
+const dispatch::check_registrar kTanhCheck("vecmath.tanh", &check_tanh, 4.0);
 
 using sve::Vec;
 using sve::VecS64;
@@ -145,29 +184,29 @@ void drive(std::span<const double> x, std::span<double> y, Fn&& fn) {
 }  // namespace
 
 void exp2_array(std::span<const double> x, std::span<double> y) {
-  if (const auto* k = detail::active_kernels()) {
-    k->exp2_array(x, y);
+  if (UnaryArrayFn* fn = kExp2Table.resolve()) {
+    fn(x, y);
     return;
   }
   drive(x, y, [](const Vec& v) { return exp2(v); });
 }
 void expm1_array(std::span<const double> x, std::span<double> y) {
-  if (const auto* k = detail::active_kernels()) {
-    k->expm1_array(x, y);
+  if (UnaryArrayFn* fn = kExpm1Table.resolve()) {
+    fn(x, y);
     return;
   }
   drive(x, y, [](const Vec& v) { return expm1(v); });
 }
 void log1p_array(std::span<const double> x, std::span<double> y) {
-  if (const auto* k = detail::active_kernels()) {
-    k->log1p_array(x, y);
+  if (UnaryArrayFn* fn = kLog1pTable.resolve()) {
+    fn(x, y);
     return;
   }
   drive(x, y, [](const Vec& v) { return log1p(v); });
 }
 void tanh_array(std::span<const double> x, std::span<double> y) {
-  if (const auto* k = detail::active_kernels()) {
-    k->tanh_array(x, y);
+  if (UnaryArrayFn* fn = kTanhTable.resolve()) {
+    fn(x, y);
     return;
   }
   drive(x, y, [](const Vec& v) { return tanh(v); });

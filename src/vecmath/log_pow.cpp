@@ -3,8 +3,17 @@
 #include <cmath>
 #include <limits>
 
-#include "backends.hpp"
+#include "backend_check.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/vecmath/exp.hpp"
+
+// Pull the per-arch variant-registration TUs out of the static library.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
+#endif
 
 namespace ookami::vecmath {
 
@@ -12,6 +21,33 @@ namespace {
 
 using sve::Vec;
 using sve::VecU64;
+
+// Native variants of the log/pow array drivers; scalar resolution falls
+// through to the original sve-emulation loops below.
+using UnaryArrayFn = void(std::span<const double>, std::span<double>);
+using PowArrayFn = void(std::span<const double>, std::span<const double>, std::span<double>);
+const dispatch::kernel_table<UnaryArrayFn> kLogTable("vecmath.log");
+const dispatch::kernel_table<PowArrayFn> kPowTable("vecmath.pow");
+
+double check_log(simd::Backend b) {
+  return detail::backend_ulp_check(b, 1e-320, 1e300,
+                                   [](auto in, auto out) { log_array(in, out); });
+}
+
+double check_pow(simd::Backend b) {
+  // Fixed exponent stream alongside the random base sweep: covers the
+  // odd/even integer-exponent lanes as well as fractional powers.
+  return detail::backend_ulp_check(b, 0.001, 100.0, [](auto in, auto out) {
+    std::vector<double> e(in.size());
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      e[i] = -3.0 + 0.37 * static_cast<double>(i % 17);
+    }
+    pow_array(in, {e.data(), e.size()}, out);
+  });
+}
+
+const dispatch::check_registrar kLogCheck("vecmath.log", &check_log, 2.0);
+const dispatch::check_registrar kPowCheck("vecmath.pow", &check_pow, 16.0);
 
 constexpr double kLn2Hi = 0x1.62e42fefa0000p-1;
 constexpr double kLn2Lo = 0x1.cf79abc9e3b3ap-40;
@@ -100,8 +136,8 @@ Vec pow(const Vec& x, const Vec& y) {
 }
 
 void log_array(std::span<const double> x, std::span<double> y) {
-  if (const auto* k = detail::active_kernels()) {
-    k->log_array(x, y);
+  if (UnaryArrayFn* fn = kLogTable.resolve()) {
+    fn(x, y);
     return;
   }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
@@ -111,8 +147,8 @@ void log_array(std::span<const double> x, std::span<double> y) {
 }
 
 void pow_array(std::span<const double> x, std::span<const double> y, std::span<double> z) {
-  if (const auto* k = detail::active_kernels()) {
-    k->pow_array(x, y, z);
+  if (PowArrayFn* fn = kPowTable.resolve()) {
+    fn(x, y, z);
     return;
   }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {

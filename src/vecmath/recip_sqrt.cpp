@@ -2,10 +2,44 @@
 
 #include <cmath>
 
-#include "backends.hpp"
+#include "backend_check.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/sve/fexpa.hpp"
 
+// Pull the per-arch variant-registration TUs out of the static library.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
+#endif
+
 namespace ookami::vecmath {
+
+namespace {
+
+// Native variants of the recip/sqrt array drivers; scalar resolution
+// falls through to the original sve-emulation loops below.
+using StrategyArrayFn = void(std::span<const double>, std::span<double>, DivSqrtStrategy);
+const dispatch::kernel_table<StrategyArrayFn> kRecipTable("vecmath.recip");
+const dispatch::kernel_table<StrategyArrayFn> kSqrtTable("vecmath.sqrt");
+
+double check_recip(simd::Backend b) {
+  return detail::backend_ulp_check(b, 1e-300, 1e300, [](auto in, auto out) {
+    recip_array(in, out, DivSqrtStrategy::kNewton);
+  });
+}
+
+double check_sqrt(simd::Backend b) {
+  return detail::backend_ulp_check(b, 1e-300, 1e300, [](auto in, auto out) {
+    sqrt_array(in, out, DivSqrtStrategy::kNewton);
+  });
+}
+
+const dispatch::check_registrar kRecipCheck("vecmath.recip", &check_recip, 2.0);
+const dispatch::check_registrar kSqrtCheck("vecmath.sqrt", &check_sqrt, 2.0);
+
+}  // namespace
 
 using sve::Vec;
 
@@ -63,8 +97,8 @@ void drive(std::span<const double> x, std::span<double> y, Fn&& fn) {
 }  // namespace
 
 void recip_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy strategy) {
-  if (const auto* k = detail::active_kernels()) {
-    k->recip_array(x, y, strategy);
+  if (StrategyArrayFn* fn = kRecipTable.resolve()) {
+    fn(x, y, strategy);
     return;
   }
   if (strategy == DivSqrtStrategy::kNewton) {
@@ -75,8 +109,8 @@ void recip_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy
 }
 
 void sqrt_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy strategy) {
-  if (const auto* k = detail::active_kernels()) {
-    k->sqrt_array(x, y, strategy);
+  if (StrategyArrayFn* fn = kSqrtTable.resolve()) {
+    fn(x, y, strategy);
     return;
   }
   if (strategy == DivSqrtStrategy::kNewton) {

@@ -3,7 +3,16 @@
 #include <cmath>
 #include <limits>
 
-#include "backends.hpp"
+#include "backend_check.hpp"
+#include "ookami/dispatch/registry.hpp"
+
+// Pull the per-arch variant-registration TUs out of the static library.
+#if defined(OOKAMI_SIMD_HAVE_SSE2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
+#endif
+#if defined(OOKAMI_SIMD_HAVE_AVX2)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
+#endif
 
 namespace ookami::vecmath {
 
@@ -11,6 +20,25 @@ namespace {
 
 using sve::Vec;
 using sve::VecS64;
+
+// Native variants of the sin/cos array drivers; scalar resolution falls
+// through to the original sve-emulation loops below.
+using UnaryArrayFn = void(std::span<const double>, std::span<double>);
+const dispatch::kernel_table<UnaryArrayFn> kSinTable("vecmath.sin");
+const dispatch::kernel_table<UnaryArrayFn> kCosTable("vecmath.cos");
+
+double check_sin(simd::Backend b) {
+  return detail::backend_ulp_check(b, -100.0, 100.0,
+                                   [](auto in, auto out) { sin_array(in, out); });
+}
+
+double check_cos(simd::Backend b) {
+  return detail::backend_ulp_check(b, -100.0, 100.0,
+                                   [](auto in, auto out) { cos_array(in, out); });
+}
+
+const dispatch::check_registrar kSinCheck("vecmath.sin", &check_sin, 2.0);
+const dispatch::check_registrar kCosCheck("vecmath.cos", &check_cos, 2.0);
 
 // Cody-Waite split of pi/2 into three parts; n * kPio2_1 is exact for
 // |n| < 2^24 because the low 27 bits of each part are zero.
@@ -80,8 +108,8 @@ Vec sin(const Vec& x) { return sincos_impl(x, 0); }
 Vec cos(const Vec& x) { return sincos_impl(x, 1); }
 
 void sin_array(std::span<const double> x, std::span<double> y) {
-  if (const auto* k = detail::active_kernels()) {
-    k->sin_array(x, y);
+  if (UnaryArrayFn* fn = kSinTable.resolve()) {
+    fn(x, y);
     return;
   }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {
@@ -91,8 +119,8 @@ void sin_array(std::span<const double> x, std::span<double> y) {
 }
 
 void cos_array(std::span<const double> x, std::span<double> y) {
-  if (const auto* k = detail::active_kernels()) {
-    k->cos_array(x, y);
+  if (UnaryArrayFn* fn = kCosTable.resolve()) {
+    fn(x, y);
     return;
   }
   for (std::size_t i = 0; i < x.size(); i += sve::kLanes) {

@@ -12,14 +12,19 @@
 #include <limits>
 #include <sstream>
 
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/harness/diff.hpp"
 #include "ookami/harness/harness.hpp"
 #include "ookami/harness/json.hpp"
 #include "ookami/harness/profile.hpp"
 #include "ookami/metrics/metrics.hpp"
+#include "ookami/simd/backend.hpp"
 
 namespace ookami::harness {
 namespace {
+
+namespace dispatch = ookami::dispatch;
+namespace simd = ookami::simd;
 
 // --------------------------------------------------------------- JSON
 
@@ -418,6 +423,73 @@ TEST(Diff, JsonModeEmitsMachineReadableDeltas) {
   // The document round-trips through the parser (what CI consumes).
   const json::Value back = json::Value::parse(doc.dump());
   EXPECT_EQ(back.at("deltas").size(), 3u);
+}
+
+TEST(Diff, BackendChangeWarnsButNeverGates) {
+  // Same numbers, but one shared series changed its recorded backend:
+  // the diff must surface that (text footer + JSON fields) while the
+  // gate stays green — a backend move is a lead, not a regression.
+  auto with_backends = [](json::Value doc,
+                          std::initializer_list<std::pair<const char*, const char*>> backends) {
+    json::Value arr = json::Value::array();
+    std::size_t i = 0;
+    for (const auto& s : doc.at("series").items()) {
+      json::Value copy = s;
+      copy.set("backend", std::string(std::data(backends)[i++].second));
+      arr.push_back(std::move(copy));
+    }
+    doc.set("series", std::move(arr));
+    return doc;
+  };
+  const auto before =
+      with_backends(make_doc("b", {{"k1", 1.0}, {"k2", 1.0}}), {{"k1", "avx2"}, {"k2", "avx2"}});
+  const auto after =
+      with_backends(make_doc("b", {{"k1", 1.0}, {"k2", 1.0}}), {{"k1", "scalar"}, {"k2", "avx2"}});
+  DiffOptions opts;
+  const DiffReport r = diff(before, after, opts);
+  EXPECT_TRUE(r.ok());  // warning only, never a gate failure
+  EXPECT_EQ(r.backend_changes, 1);
+  ASSERT_EQ(r.deltas.size(), 2u);
+  EXPECT_TRUE(r.deltas[0].backend_changed);
+  EXPECT_EQ(r.deltas[0].backend_before, "avx2");
+  EXPECT_EQ(r.deltas[0].backend_after, "scalar");
+  EXPECT_FALSE(r.deltas[1].backend_changed);
+
+  const std::string rendered = render_diff(r);
+  EXPECT_NE(rendered.find("WARNING: 1 series changed backend"), std::string::npos);
+  EXPECT_NE(rendered.find("k1: avx2 -> scalar"), std::string::npos);
+
+  const json::Value doc = diff_to_json(r);
+  EXPECT_DOUBLE_EQ(doc.at("backend_changes").as_number(), 1.0);
+  const json::Value& d0 = doc.at("deltas").at(0);
+  EXPECT_TRUE(d0.at("backend_changed").as_bool());
+  EXPECT_EQ(d0.at("backend_before").as_string(), "avx2");
+  EXPECT_EQ(d0.at("backend_after").as_string(), "scalar");
+
+  // Series without a recorded backend (or matching ones) never warn.
+  const DiffReport clean = diff(before, before, opts);
+  EXPECT_EQ(clean.backend_changes, 0);
+  EXPECT_EQ(render_diff(clean).find("WARNING"), std::string::npos);
+  const DiffReport no_field = diff(make_doc("b", {{"k1", 1.0}}), make_doc("b", {{"k1", 1.0}}), opts);
+  EXPECT_EQ(no_field.backend_changes, 0);
+}
+
+TEST(Run, TimedSeriesArchivesObservedKernelBackends) {
+  // A timed series brackets its body with the registry observation API;
+  // kernels resolved inside the body land in kernel_backends and fold
+  // into the series' backend label.
+  using TestFn = int();
+  static const dispatch::kernel_table<TestFn> table("test.harness.obs");
+  harness::Run run("obs", quiet_options());
+  {
+    simd::ScopedBackend force(simd::Backend::kScalar);
+    run.time("scalar-series", [&] { (void)table.resolve(); });
+  }
+  const json::Value doc = run.to_json();
+  const json::Value& s = doc.at("series").at(0);
+  EXPECT_EQ(s.at("backend").as_string(), "scalar");
+  const json::Value& kb = s.at("kernel_backends");
+  EXPECT_EQ(kb.at("test.harness.obs").as_string(), "scalar");
 }
 
 TEST(Environment, CapturesRelevantRuntimeEnv) {

@@ -12,6 +12,13 @@
 // --json replaces the text table with an ookami-diff-1 JSON document on
 // stdout so CI can gate on structured deltas.  Exit 2 signals a usage
 // or I/O problem so CI can tell "perf regressed" from "gate broke".
+//
+// A shared series whose recorded "backend" changed between the files is
+// warned about but never gates: the numbers are still valid
+// measurements, but a kernel that moved (say) from avx2 to scalar is
+// the first explanation to check for any delta.  The warning appears in
+// the text table's footer, as "backend_changes"/"backend_changed" in
+// the JSON document, and on stderr under --json.
 
 #include <cstdio>
 #include <exception>
@@ -42,6 +49,12 @@ int main(int argc, char** argv) {
     const auto report = ookami::harness::diff_files(cli.positional()[0], cli.positional()[1], opts);
     if (cli.has("json")) {
       std::printf("%s\n", ookami::harness::diff_to_json(report).dump().c_str());
+      if (report.backend_changes > 0) {
+        std::fprintf(stderr,
+                     "bench_diff: warning: %d series changed backend between the runs "
+                     "(non-fatal; see the backend_changed deltas)\n",
+                     report.backend_changes);
+      }
     } else {
       std::printf("%s", ookami::harness::render_diff(report).c_str());
     }
