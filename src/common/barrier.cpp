@@ -1,0 +1,252 @@
+#include "ookami/common/barrier.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#if defined(__linux__)
+#include <climits>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ookami {
+
+const char* barrier_mode_name(BarrierMode mode) {
+  switch (mode) {
+    case BarrierMode::kCondvar: return "condvar";
+    case BarrierMode::kSpin: return "spin";
+    case BarrierMode::kHierarchical: return "hierarchical";
+  }
+  return "condvar";
+}
+
+std::optional<BarrierMode> parse_barrier_mode(const std::string& name) {
+  if (name == "condvar") return BarrierMode::kCondvar;
+  if (name == "spin") return BarrierMode::kSpin;
+  if (name == "hierarchical" || name == "hier") return BarrierMode::kHierarchical;
+  return std::nullopt;
+}
+
+BarrierMode default_barrier_mode() {
+  static const BarrierMode mode = [] {
+    const char* v = std::getenv("OOKAMI_POOL_BARRIER");
+    if (v == nullptr || *v == '\0') return BarrierMode::kCondvar;
+    if (const auto parsed = parse_barrier_mode(v)) return *parsed;
+    std::fprintf(stderr,
+                 "ookami: OOKAMI_POOL_BARRIER='%s' is not condvar|spin|hierarchical; "
+                 "using condvar\n",
+                 v);
+    return BarrierMode::kCondvar;
+  }();
+  return mode;
+}
+
+namespace detail {
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+SpinPolicy auto_spin_policy(unsigned participants) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Oversubscribed: the thread we are waiting for needs this core, so
+  // park on the futex immediately (spinning or yield-bouncing only
+  // delays it).  Otherwise a few thousand pause iterations cover the
+  // fast all-cores-running arrival window before conceding the core.
+  return participants > hw ? SpinPolicy{0u, 0u} : SpinPolicy{4096u, 64u};
+}
+
+namespace {
+
+void futex_park(std::atomic<std::uint32_t>& value, std::uint32_t old) {
+#if defined(__linux__)
+  // The kernel re-checks `value == old` under its own lock, so a wake
+  // that lands between our user-space check and the syscall cannot be
+  // lost.
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&value), FUTEX_WAIT_PRIVATE, old, nullptr,
+          nullptr, 0);
+#else
+  value.wait(old, std::memory_order_acquire);
+#endif
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>& value) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&value), FUTEX_WAKE_PRIVATE, INT_MAX,
+          nullptr, nullptr, 0);
+#else
+  value.notify_all();
+#endif
+}
+
+}  // namespace
+
+void FutexWord::wait_while(std::uint32_t old, SpinPolicy policy) {
+  for (unsigned i = 0; i < policy.spin_iters; ++i) {
+    if (value.load(std::memory_order_acquire) != old) return;
+    cpu_relax();
+  }
+  for (unsigned i = 0; i < policy.yield_iters; ++i) {
+    if (value.load(std::memory_order_acquire) != old) return;
+    std::this_thread::yield();
+  }
+  while (value.load(std::memory_order_acquire) == old) {
+    // Publish the waiter count before the final check-and-park; the
+    // seq_cst RMW orders against the waker's seq_cst write of `value`,
+    // so either the waker sees our count or we see its new value.
+    waiters.fetch_add(1, std::memory_order_seq_cst);
+    if (value.load(std::memory_order_acquire) == old) futex_park(value, old);
+    waiters.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void FutexWord::store_and_wake(std::uint32_t v) {
+  value.store(v, std::memory_order_seq_cst);
+  if (waiters.load(std::memory_order_seq_cst) != 0) futex_wake_all(value);
+}
+
+void FutexWord::add_and_wake(std::uint32_t delta) {
+  value.fetch_add(delta, std::memory_order_seq_cst);
+  if (waiters.load(std::memory_order_seq_cst) != 0) futex_wake_all(value);
+}
+
+}  // namespace detail
+
+CondvarBarrier::CondvarBarrier(unsigned n) : n_(std::max(1u, n)) {}
+
+void CondvarBarrier::wait(unsigned) {
+  std::unique_lock lk(mu_);
+  const int my = sense_ ^ 1;
+  if (++arrived_ == n_) {
+    arrived_ = 0;
+    sense_ = my;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lk, [&] { return sense_ == my; });
+  }
+}
+
+void CondvarBarrier::arrive(unsigned) {
+  std::lock_guard lk(mu_);
+  const int my = sense_ ^ 1;
+  if (++arrived_ == n_) {
+    arrived_ = 0;
+    sense_ = my;
+    cv_.notify_all();
+  }
+}
+
+SpinBarrier::SpinBarrier(unsigned n, unsigned spin_iters)
+    : n_(std::max(1u, n)),
+      policy_(spin_iters ? detail::SpinPolicy{spin_iters, 64u} : detail::auto_spin_policy(n_)),
+      flip_(n_) {}
+
+int SpinBarrier::arrive_impl(unsigned slot) {
+  const int my = flip_[slot].sense ^ 1;
+  flip_[slot].sense = my;
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    // Reset the arrival count before flipping the sense: a fast thread
+    // may re-arrive for the next phase as soon as it observes the flip.
+    arrived_.store(0, std::memory_order_relaxed);
+    sense_.store_and_wake(static_cast<std::uint32_t>(my));
+  }
+  return my;
+}
+
+void SpinBarrier::wait(unsigned slot) {
+  const int my = arrive_impl(slot);
+  // The sense word strictly alternates, so "not yet released" is
+  // exactly the previous phase's value.
+  sense_.wait_while(static_cast<std::uint32_t>(my ^ 1), policy_);
+}
+
+void SpinBarrier::arrive(unsigned slot) { arrive_impl(slot); }
+
+HierarchicalBarrier::HierarchicalBarrier(unsigned n, unsigned group_size, unsigned spin_iters)
+    : n_(std::max(1u, n)),
+      group_size_(std::clamp(group_size ? group_size : n_, 1u, n_)),
+      policy_(spin_iters ? detail::SpinPolicy{spin_iters, 64u} : detail::auto_spin_policy(n_)),
+      flip_(n_) {
+  const unsigned n_groups = (n_ + group_size_ - 1) / group_size_;
+  groups_.reserve(n_groups);
+  for (unsigned g = 0; g < n_groups; ++g) {
+    auto grp = std::make_unique<Group>();
+    grp->size = std::min(group_size_, n_ - g * group_size_);
+    groups_.push_back(std::move(grp));
+  }
+}
+
+std::pair<int, bool> HierarchicalBarrier::arrive_impl(unsigned slot) {
+  const unsigned g = slot / group_size_;
+  Group& grp = *groups_[g];
+  // Every slot flips once per phase from a common start, so `my` is the
+  // same value in every participant of the same phase.
+  const int my = flip_[slot].sense ^ 1;
+  flip_[slot].sense = my;
+  if (grp.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 != grp.size) return {my, false};
+  grp.arrived.store(0, std::memory_order_relaxed);
+  // Group-last arrival represents the group at the global line.
+  // Group-local traffic stays on the group's counter; only one RMW per
+  // group crosses the "CMG" boundary.
+  if (global_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      static_cast<unsigned>(groups_.size())) {
+    global_arrived_.store(0, std::memory_order_relaxed);
+    global_sense_.store_and_wake(static_cast<std::uint32_t>(my));
+  }
+  return {my, true};
+}
+
+void HierarchicalBarrier::wait(unsigned slot) {
+  const auto [my, group_last] = arrive_impl(slot);
+  const unsigned g = slot / group_size_;
+  Group& grp = *groups_[g];
+  if (group_last) {
+    // Wait for every group, then release the local peers: the group's
+    // sense line flips only after the whole barrier has completed.
+    global_sense_.wait_while(static_cast<std::uint32_t>(my ^ 1), policy_);
+    grp.sense.store_and_wake(static_cast<std::uint32_t>(my));
+  } else {
+    grp.sense.wait_while(static_cast<std::uint32_t>(my ^ 1), policy_);
+  }
+}
+
+void HierarchicalBarrier::arrive(unsigned slot) {
+  const auto [my, group_last] = arrive_impl(slot);
+  if (group_last) {
+    // Nobody waits on the group line in an arrive/join phase, but keep
+    // it in lockstep with the flip flags so a later full-wait phase on
+    // the same barrier stays consistent.
+    Group& grp = *groups_[slot / group_size_];
+    grp.sense.store_and_wake(static_cast<std::uint32_t>(my));
+  }
+}
+
+void HierarchicalBarrier::join(unsigned slot) {
+  const auto [my, group_last] = arrive_impl(slot);
+  if (group_last) {
+    Group& grp = *groups_[slot / group_size_];
+    grp.sense.store_and_wake(static_cast<std::uint32_t>(my));
+  }
+  global_sense_.wait_while(static_cast<std::uint32_t>(my ^ 1), policy_);
+}
+
+std::unique_ptr<Barrier> make_barrier(BarrierMode mode, unsigned n, unsigned group_size) {
+  switch (mode) {
+    case BarrierMode::kCondvar: return std::make_unique<CondvarBarrier>(n);
+    case BarrierMode::kSpin: return std::make_unique<SpinBarrier>(n);
+    case BarrierMode::kHierarchical:
+      return std::make_unique<HierarchicalBarrier>(n, group_size);
+  }
+  return std::make_unique<CondvarBarrier>(n);
+}
+
+}  // namespace ookami

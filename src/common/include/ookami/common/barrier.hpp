@@ -1,0 +1,214 @@
+#pragma once
+// Pluggable fork/join barrier strategies for the ThreadPool.
+//
+// The paper attributes much of A64FX's fine-grained OpenMP cost to
+// synchronization: the Fujitsu runtime can use the A64FX hardware
+// barrier (the RRZE A64FX_HWB kmod exposes it to other runtimes), while
+// a portable condvar barrier pays futex sleep/wake chains on every
+// region.  This header provides the software spectrum between those two
+// points:
+//
+//   * CondvarBarrier      — classic mutex/condvar sense barrier; the
+//                           pool's historical (and default) protocol.
+//                           Threads sleep between regions; cost is
+//                           dominated by kernel wake chains.
+//   * SpinBarrier         — centralized sense-reversing barrier.  Each
+//                           participant keeps a per-slot flip flag and
+//                           spins on the shared sense word with a
+//                           bounded busy-spin, then bounded yields, then
+//                           a futex wait (std::atomic::wait) so idle
+//                           phases do not burn a core forever.
+//   * HierarchicalBarrier — per-CMG-group sense-reversing barriers; the
+//                           last arrival of each group represents it at
+//                           a global SpinBarrier, then releases its
+//                           group.  This is the software analogue of the
+//                           A64FX per-CMG hardware barrier gates and
+//                           keeps the hot coherence traffic inside a
+//                           NUMA group.
+//
+// All three implement the same reusable-barrier contract: `wait(slot)`
+// blocks until every participant has arrived, and the barrier can be
+// reused immediately (sense reversal makes consecutive phases safe even
+// when a slow thread from phase k is still waking while phase k+1
+// completes: the sense word cannot advance until the slow thread
+// arrives again).
+//
+// For fork/join there is also an asymmetric protocol: workers call
+// `arrive(slot)` — signal arrival and return immediately — and the one
+// submitter calls `join(slot)` — arrive and block until every slot has
+// arrived.  This is how OpenMP runtimes join: a worker that finished its
+// chunk has nothing to wait for (its next act is parking for the next
+// region), so putting it to sleep on the barrier release just to wake it
+// into another sleep doubles the futex traffic.  Within any one phase a
+// barrier must be used in a single style — either every participant
+// calls wait(), or exactly one calls join() and the rest arrive().
+// Phases of different styles may alternate freely on the same barrier.
+// Because arrive() does not block, arrive/join style needs an external
+// fork signal ordering each participant's next arrival after the
+// current join() has returned (the pool's generation word provides
+// this); a leaf that re-arrives while the previous phase is still
+// joining would double-count in the arrival window.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ookami {
+
+/// Which fork/join protocol a ThreadPool uses.
+enum class BarrierMode { kCondvar, kSpin, kHierarchical };
+
+/// "condvar" / "spin" / "hierarchical".
+const char* barrier_mode_name(BarrierMode mode);
+
+/// Parse a mode name; std::nullopt for anything unrecognized.
+std::optional<BarrierMode> parse_barrier_mode(const std::string& name);
+
+/// Mode selected by OOKAMI_POOL_BARRIER, or kCondvar when the variable
+/// is unset.  An unrecognized value is reported once on stderr and
+/// falls back to kCondvar rather than failing the run.
+BarrierMode default_barrier_mode();
+
+namespace detail {
+/// One polite busy-wait iteration (x86 pause / arm yield).
+void cpu_relax();
+/// Busy-phase bounds before the futex fallback.  Oversubscribed
+/// participant counts get (0, 0): every cycle spent spinning or
+/// yield-bouncing is stolen from the thread being waited for, so the
+/// waiter parks on the futex immediately — it still beats a condvar,
+/// which adds a contended mutex on top of the same futex sleep.
+struct SpinPolicy {
+  unsigned spin_iters;
+  unsigned yield_iters;
+};
+SpinPolicy auto_spin_policy(unsigned participants);
+
+/// 32-bit wait/wake word.  On Linux this parks on the raw futex (no
+/// library-side spin: std::atomic::wait front-loads its own spin/yield
+/// phase, which is exactly the cycle theft auto_spin_policy avoids when
+/// the machine is oversubscribed); elsewhere it falls back to
+/// std::atomic::wait.  A waiter count makes wakes free when nobody is
+/// parked, the same trick glibc's condvar uses — minus the mutex.
+struct FutexWord {
+  std::atomic<std::uint32_t> value{0};
+  std::atomic<std::uint32_t> waiters{0};
+  /// Spin/yield per `policy`, then park until `value != old`.
+  void wait_while(std::uint32_t old, SpinPolicy policy);
+  /// Release-publish `v` and wake every parked waiter.
+  void store_and_wake(std::uint32_t v);
+  /// fetch_add `delta` and wake every parked waiter.
+  void add_and_wake(std::uint32_t delta);
+};
+}  // namespace detail
+
+/// Reusable n-participant barrier; `slot` identifies the participant
+/// (0 <= slot < participants) and each slot must arrive exactly once
+/// per phase (via wait, arrive, or join — see the style rule above).
+class Barrier {
+public:
+  virtual ~Barrier() = default;
+  /// Arrive and block until all participants have arrived (full barrier).
+  virtual void wait(unsigned slot) = 0;
+  /// Arrive without waiting for the phase to complete (join leaf).
+  virtual void arrive(unsigned slot) = 0;
+  /// Arrive and block until all participants have *arrived* (join root).
+  /// Default: full wait — correct wherever arrival implies release.
+  virtual void join(unsigned slot) { wait(slot); }
+  [[nodiscard]] virtual unsigned participants() const = 0;
+};
+
+/// Sense barrier on a mutex/condvar (threads sleep while waiting).
+class CondvarBarrier final : public Barrier {
+public:
+  explicit CondvarBarrier(unsigned n);
+  void wait(unsigned slot) override;
+  void arrive(unsigned slot) override;
+  [[nodiscard]] unsigned participants() const override { return n_; }
+
+private:
+  unsigned n_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned arrived_ = 0;
+  int sense_ = 0;
+};
+
+/// Centralized sense-reversing spin barrier with a bounded spin and a
+/// futex/yield fallback.  `spin_iters` bounds the busy phase; pass 0 to
+/// size it automatically (small when the participant count oversubscribes
+/// the hardware — a spinner would only steal cycles from the thread it
+/// is waiting for).
+class SpinBarrier final : public Barrier {
+public:
+  explicit SpinBarrier(unsigned n, unsigned spin_iters = 0);
+  void wait(unsigned slot) override;
+  void arrive(unsigned slot) override;
+  [[nodiscard]] unsigned participants() const override { return n_; }
+
+private:
+  struct alignas(64) Flip {
+    int sense = 0;  ///< per-participant flip flag; touched only by its owner
+  };
+  /// Arrival half shared by wait/arrive: flips the slot, counts in, and
+  /// if last resets + releases.  Returns this phase's sense value.
+  int arrive_impl(unsigned slot);
+  unsigned n_;
+  detail::SpinPolicy policy_;
+  std::atomic<unsigned> arrived_{0};
+  detail::FutexWord sense_;
+  std::vector<Flip> flip_;
+};
+
+/// Two-level barrier: participants are partitioned into groups of
+/// `group_size` consecutive slots (the ThreadPool maps these to CMGs via
+/// compact binding).  Arrivals meet at their group's sense word; the
+/// last arrival of each group crosses a global SpinBarrier over group
+/// representatives and then releases its group.
+class HierarchicalBarrier final : public Barrier {
+public:
+  HierarchicalBarrier(unsigned n, unsigned group_size, unsigned spin_iters = 0);
+  void wait(unsigned slot) override;
+  void arrive(unsigned slot) override;
+  /// Join root waits on the *global* sense word: group sense lines are
+  /// only released in full-wait phases, so a join must not depend on
+  /// them.
+  void join(unsigned slot) override;
+  [[nodiscard]] unsigned participants() const override { return n_; }
+  [[nodiscard]] unsigned group_size() const { return group_size_; }
+  [[nodiscard]] unsigned group_count() const { return static_cast<unsigned>(groups_.size()); }
+
+private:
+  struct alignas(64) Group {
+    std::atomic<unsigned> arrived{0};
+    detail::FutexWord sense;
+    unsigned size = 0;
+  };
+  struct alignas(64) Flip {
+    int sense = 0;
+  };
+  /// Arrival half: flips the slot, counts into its group, forwards the
+  /// group-last arrival to the global line.  Returns this phase's sense
+  /// value and whether this slot was the group's last arrival.
+  std::pair<int, bool> arrive_impl(unsigned slot);
+  unsigned n_;
+  unsigned group_size_;
+  detail::SpinPolicy policy_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  /// Global line over group representatives (one forwarded arrival per
+  /// group; the last one flips global_sense_).
+  alignas(64) std::atomic<unsigned> global_arrived_{0};
+  alignas(64) detail::FutexWord global_sense_;
+  std::vector<Flip> flip_;
+};
+
+/// Barrier of the flavour `mode` over `n` participants.  kHierarchical
+/// uses `group_size` consecutive slots per group (clamped to [1, n];
+/// 0 picks the whole range, i.e. a flat barrier).
+std::unique_ptr<Barrier> make_barrier(BarrierMode mode, unsigned n, unsigned group_size = 0);
+
+}  // namespace ookami

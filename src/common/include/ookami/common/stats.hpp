@@ -43,8 +43,11 @@ public:
     return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
   }
 
+  /// Empty accumulators return quiet NaN, the same sentinel policy as
+  /// min()/max(): 0.0 would read as a plausible measurement in a result
+  /// file, while NaN serializes to null in the harness JSON emitter.
   [[nodiscard]] double median() const {
-    if (samples_.empty()) return 0.0;
+    if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
     std::vector<double> v = samples_;
     const std::size_t mid = v.size() / 2;
     std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());

@@ -78,9 +78,10 @@ Environment capture_environment() {
   // variables are archived; the harness separately records the
   // effective trace on/off state in the environment JSON.
   static const char* const kRelevantEnv[] = {
-      "OOKAMI_THREADS",        "OOKAMI_TRACE", "OOKAMI_SIMD_BACKEND",
-      "OOKAMI_KERNEL_BACKEND", "OMP_NUM_THREADS", "OMP_PROC_BIND",
-      "OMP_PLACES",            "GOMP_CPU_AFFINITY",
+      "OOKAMI_THREADS",        "OOKAMI_TRACE",    "OOKAMI_SIMD_BACKEND",
+      "OOKAMI_KERNEL_BACKEND", "OOKAMI_POOL_BARRIER", "OOKAMI_POOL_GROUP_SIZE",
+      "OMP_NUM_THREADS",       "OMP_PROC_BIND",   "OMP_PLACES",
+      "GOMP_CPU_AFFINITY",
   };
   for (const char* name : kRelevantEnv) {
     if (const char* value = std::getenv(name)) env.runtime_env.emplace_back(name, value);

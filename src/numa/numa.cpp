@@ -4,16 +4,25 @@
 
 namespace ookami::numa {
 
+int domain_of_thread(const perf::NumaTopology& topo, int thread) {
+  // Compact binding: threads 0..cores_per_domain-1 on domain 0, etc.
+  return std::min(thread / topo.cores_per_domain, topo.domains - 1);
+}
+
+int compact_group_size(const perf::NumaTopology& topo) { return topo.cores_per_domain; }
+
+int compact_group_count(const perf::NumaTopology& topo, int nthreads) {
+  if (nthreads <= 0) return 0;
+  const int groups = (nthreads + topo.cores_per_domain - 1) / topo.cores_per_domain;
+  return std::min(groups, topo.domains);
+}
+
 PageMap::PageMap(perf::NumaTopology topo, Placement policy, std::size_t page_bytes)
     : topo_(topo), policy_(policy), page_bytes_(page_bytes) {}
 
 int PageMap::domain_of_thread(int thread, int nthreads) const {
-  const int total_cores = topo_.domains * topo_.cores_per_domain;
-  (void)total_cores;
-  // Compact binding: threads 0..cores_per_domain-1 on domain 0, etc.
-  const int domain = thread / topo_.cores_per_domain;
   (void)nthreads;
-  return std::min(domain, topo_.domains - 1);
+  return numa::domain_of_thread(topo_, thread);
 }
 
 void PageMap::touch(std::size_t addr, int thread, int nthreads) {

@@ -1,0 +1,97 @@
+#include "ookami/perf/sync_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace ookami::perf {
+
+namespace {
+
+// Calibrated synchronization constants.
+//
+// Sleep/wake path (condvar): a futex wait + wake round trip costs on
+// the order of a microsecond of kernel work and scheduler latency; the
+// wake side fans out roughly logarithmically as woken threads help
+// propagate.  Anchored so the 48-thread A64FX cost lands on the
+// machine's omp_fork_join_us = 3.0 (0.8 + 0.4 * log2(48) ~ 3.0 us).
+constexpr double kCondvarBaseUs = 0.8;
+constexpr double kCondvarWakeUs = 0.4;
+
+// Coherence path (spin): a contended RMW serializes one cache-to-cache
+// line transfer per arrival.  ~60 cycles covers the average transfer on
+// a machine where some hops cross a CMG/socket (A64FX cross-CMG is
+// slower, same-CMG faster); group-local transfers stay ~40 cycles and
+// remote (cross-group) ones ~90.  The release broadcast is a log-depth
+// fan-out of the flipped sense line.
+constexpr double kRmwAvgCyc = 60.0;
+constexpr double kRmwLocalCyc = 40.0;
+constexpr double kRmwRemoteCyc = 90.0;
+constexpr double kBroadcastCyc = 40.0;
+
+// Hardware barrier (A64FX HPC extension): the RRZE A64FX_HWB kmod
+// benchmark puts the gate roughly an order of magnitude under software
+// barriers — a near-constant intra-CMG latency plus one inter-CMG
+// synchronization hop when the window spans CMGs.
+constexpr double kHwbIntraCmgCyc = 270.0;  // ~150 ns at 1.8 GHz
+constexpr double kHwbInterCmgCyc = 180.0;  // ~100 ns extra across CMGs
+
+double log2_ceil(int n) { return n > 1 ? std::ceil(std::log2(static_cast<double>(n))) : 0.0; }
+
+double cycles_to_s(const MachineModel& m, double cycles) { return cycles / (m.freq_ghz * 1e9); }
+
+int groups_for(const MachineModel& m, int threads, int group_size) {
+  const int gs = group_size > 0 ? group_size : m.numa.cores_per_domain;
+  return (threads + gs - 1) / std::max(1, gs);
+}
+
+}  // namespace
+
+double condvar_fork_join_s(const MachineModel& m, int threads) {
+  (void)m;
+  if (threads <= 1) return 0.0;
+  // Kernel-dominated: independent of the core's clock to first order.
+  return (kCondvarBaseUs + kCondvarWakeUs * log2_ceil(threads)) * 1e-6;
+}
+
+double spin_fork_join_s(const MachineModel& m, int threads) {
+  if (threads <= 1) return 0.0;
+  const double cycles =
+      static_cast<double>(threads) * kRmwAvgCyc + kBroadcastCyc * log2_ceil(threads);
+  return cycles_to_s(m, cycles);
+}
+
+double hierarchical_fork_join_s(const MachineModel& m, int threads, int group_size) {
+  if (threads <= 1) return 0.0;
+  const int gs = std::clamp(group_size > 0 ? group_size : m.numa.cores_per_domain, 1, threads);
+  const int groups = groups_for(m, threads, gs);
+  // Group arrival (serialized local transfers), representatives at the
+  // global line (remote transfers), then a group-local release fan-out.
+  const double cycles = static_cast<double>(gs) * kRmwLocalCyc +
+                        static_cast<double>(groups) * kRmwRemoteCyc +
+                        kBroadcastCyc * (log2_ceil(gs) + log2_ceil(groups));
+  return cycles_to_s(m, cycles);
+}
+
+double hardware_barrier_s(const MachineModel& m, int threads) {
+  if (threads <= 1) return 0.0;
+  const double cycles =
+      kHwbIntraCmgCyc + (groups_for(m, threads, 0) > 1 ? kHwbInterCmgCyc : 0.0);
+  return cycles_to_s(m, cycles);
+}
+
+double modeled_speedup_vs_condvar(const MachineModel& m, const char* strategy, int threads,
+                                  int group_size) {
+  const double condvar = condvar_fork_join_s(m, threads);
+  double other = condvar;
+  if (std::strcmp(strategy, "spin") == 0) {
+    other = spin_fork_join_s(m, threads);
+  } else if (std::strcmp(strategy, "hierarchical") == 0) {
+    other = hierarchical_fork_join_s(m, threads, group_size);
+  } else if (std::strcmp(strategy, "hardware") == 0) {
+    other = hardware_barrier_s(m, threads);
+  }
+  return other > 0.0 ? condvar / other : 1.0;
+}
+
+}  // namespace ookami::perf

@@ -100,9 +100,13 @@ TEST(Stats, EmptySummaryIsNaNSentinel) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_TRUE(std::isnan(s.min()));
   EXPECT_TRUE(std::isnan(s.max()));
+  // median() used to return 0.0 here — the same plausible-measurement
+  // hazard the min()/max() sentinel already closed.
+  EXPECT_TRUE(std::isnan(s.median()));
   s.add(7.0);
   EXPECT_DOUBLE_EQ(s.min(), 7.0);
   EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
 }
 
 TEST(ThreadPool, StaticChunksCoverRange) {

@@ -19,6 +19,30 @@ TEST(PageMap, CompactThreadBinding) {
   EXPECT_EQ(pm.domain_of_thread(47, 48), 3);
 }
 
+TEST(CompactBinding, FreeFunctionsMatchA64fxGeometry) {
+  const auto& topo = a64fx().numa;
+  EXPECT_EQ(domain_of_thread(topo, 0), 0);
+  EXPECT_EQ(domain_of_thread(topo, 11), 0);
+  EXPECT_EQ(domain_of_thread(topo, 12), 1);
+  EXPECT_EQ(domain_of_thread(topo, 47), 3);
+  // Beyond the machine: clamped to the last domain, never out of range.
+  EXPECT_EQ(domain_of_thread(topo, 96), 3);
+  EXPECT_EQ(compact_group_size(topo), 12);
+  EXPECT_EQ(compact_group_count(topo, 1), 1);
+  EXPECT_EQ(compact_group_count(topo, 12), 1);
+  EXPECT_EQ(compact_group_count(topo, 13), 2);
+  EXPECT_EQ(compact_group_count(topo, 48), 4);
+  // More threads than cores still caps at the domain count.
+  EXPECT_EQ(compact_group_count(topo, 96), 4);
+}
+
+TEST(CompactBinding, PageMapDelegatesToFreeFunction) {
+  const PageMap pm(a64fx().numa, Placement::kFirstTouch);
+  for (int t : {0, 11, 12, 35, 47}) {
+    EXPECT_EQ(pm.domain_of_thread(t, 48), domain_of_thread(a64fx().numa, t));
+  }
+}
+
 TEST(PageMap, FirstTouchFollowsTouchingThread) {
   PageMap pm(a64fx().numa, Placement::kFirstTouch);
   pm.touch(0, 0, 48);               // thread 0 -> domain 0

@@ -1,0 +1,378 @@
+// Barrier-strategy and concurrent-submission coverage for ThreadPool.
+//
+// Every behavioural guarantee the pool documents (visit-once chunking,
+// exception propagation, init folded exactly once, nested degradation)
+// must hold under each BarrierMode, and the single-atomic claim must
+// survive many outside threads hammering one pool at once — the
+// historical two-lock submission path let two simultaneous submitters
+// both win and clobber each other's region state.
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ookami/common/barrier.hpp"
+#include "ookami/common/threadpool.hpp"
+
+using namespace ookami;
+
+namespace {
+
+constexpr BarrierMode kAllModes[] = {BarrierMode::kCondvar, BarrierMode::kSpin,
+                                     BarrierMode::kHierarchical};
+
+std::string mode_label(BarrierMode mode) { return barrier_mode_name(mode); }
+
+}  // namespace
+
+TEST(BarrierMode, ParseRoundTrip) {
+  for (BarrierMode mode : kAllModes) {
+    const auto parsed = parse_barrier_mode(barrier_mode_name(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(parse_barrier_mode("hier"), BarrierMode::kHierarchical);
+  EXPECT_FALSE(parse_barrier_mode("sleepy").has_value());
+  EXPECT_FALSE(parse_barrier_mode("").has_value());
+}
+
+TEST(BarrierConformance, ParallelForVisitsEachIndexOnce) {
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(4, mode);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e, unsigned) {
+      for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << mode_label(mode);
+  }
+}
+
+TEST(BarrierConformance, ParallelReduceFoldsInitExactlyOnce) {
+  constexpr double kInit = 100.0;
+  const double expected = kInit + 999.0 * 1000.0 / 2.0;
+  for (BarrierMode mode : kAllModes) {
+    for (unsigned nthreads : {1u, 3u, 8u}) {
+      ThreadPool pool(nthreads, mode);
+      const double total = pool.parallel_reduce(
+          0, 1000, kInit,
+          [](std::size_t b, std::size_t e, unsigned) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i) s += static_cast<double>(i);
+            return s;
+          },
+          [](double a, double b) { return a + b; });
+      EXPECT_EQ(total, expected) << mode_label(mode) << " with " << nthreads << " threads";
+    }
+  }
+}
+
+TEST(BarrierConformance, ExceptionPropagationAndReuse) {
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(4, mode);
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [](std::size_t b, std::size_t, unsigned) {
+                                     if (b == 0) throw std::runtime_error("worker failed");
+                                   }),
+                 std::runtime_error)
+        << mode_label(mode);
+    // The join must have stayed balanced: the pool is immediately
+    // reusable after a throwing region.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t b, std::size_t e, unsigned) {
+      count += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(count.load(), 64) << mode_label(mode);
+  }
+}
+
+TEST(BarrierConformance, NestedParallelForDegradesToSerial) {
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(4, mode);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 4, [&](std::size_t, std::size_t, unsigned) {
+      pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e, unsigned) {
+        count += static_cast<int>(e - b);
+      });
+    });
+    EXPECT_EQ(count.load(), 40) << mode_label(mode);
+  }
+}
+
+// Regression for the concurrent-submission race: the active_ check and
+// the task_/generation_ claim used to live in two separate lock scopes,
+// so two outside submitters could both pass the check and corrupt the
+// region state (lost chunks, double-run chunks, or a stuck join).  With
+// the atomic check-and-claim every index is incremented exactly once no
+// matter how many threads submit concurrently — losers run serially.
+TEST(BarrierConformance, ConcurrentSubmittersLoseNoChunks) {
+  constexpr unsigned kSubmitters = 6;
+  constexpr int kRoundsPerSubmitter = 50;
+  constexpr std::size_t kN = 512;
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(4, mode);
+    std::vector<std::atomic<int>> hits(kN);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (unsigned s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (int r = 0; r < kRoundsPerSubmitter; ++r) {
+          pool.parallel_for(0, kN, [&](std::size_t b, std::size_t e, unsigned) {
+            for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+          });
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : submitters) t.join();
+    const int expected = static_cast<int>(kSubmitters) * kRoundsPerSubmitter;
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), expected) << mode_label(mode) << " index " << i;
+    }
+  }
+}
+
+TEST(BarrierConformance, ConcurrentReduceSubmittersStaysCorrect) {
+  constexpr unsigned kSubmitters = 4;
+  constexpr int kRounds = 30;
+  const double expected = 999.0 * 1000.0 / 2.0;
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(3, mode);
+    std::atomic<int> wrong{0};
+    std::vector<std::thread> submitters;
+    for (unsigned s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&] {
+        for (int r = 0; r < kRounds; ++r) {
+          const double total = pool.parallel_reduce(
+              0, 1000, 0.0,
+              [](std::size_t b, std::size_t e, unsigned) {
+                double acc = 0.0;
+                for (std::size_t i = b; i < e; ++i) acc += static_cast<double>(i);
+                return acc;
+              },
+              [](double a, double b) { return a + b; });
+          if (total != expected) wrong.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(wrong.load(), 0) << mode_label(mode);
+  }
+}
+
+// Sense reversal must survive arbitrarily many generations: the flip
+// flags and sense words only ever alternate, so thousands of
+// back-to-back regions exercise every wraparound path there is.
+TEST(BarrierConformance, SenseReversalSurvivesManyGenerations) {
+  for (BarrierMode mode : {BarrierMode::kSpin, BarrierMode::kHierarchical}) {
+    ThreadPool pool(4, mode);
+    std::atomic<long> total{0};
+    constexpr int kGenerations = 4000;
+    for (int g = 0; g < kGenerations; ++g) {
+      pool.parallel_for(0, 4, [&](std::size_t b, std::size_t e, unsigned) {
+        total += static_cast<long>(e - b);
+      });
+    }
+    EXPECT_EQ(total.load(), 4L * kGenerations) << mode_label(mode);
+  }
+}
+
+TEST(RawBarrier, AllFlavorsSynchronizeRepeatedPhases) {
+  constexpr unsigned kParticipants = 4;
+  constexpr int kPhases = 200;
+  for (BarrierMode mode : kAllModes) {
+    const auto barrier = make_barrier(mode, kParticipants, /*group_size=*/2);
+    ASSERT_EQ(barrier->participants(), kParticipants);
+    // Phase counters: after every wait() all participants must have
+    // contributed to the phase, or some thread ran ahead of the release.
+    std::atomic<int> arrivals{0};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (unsigned slot = 0; slot < kParticipants; ++slot) {
+      threads.emplace_back([&, slot] {
+        for (int p = 0; p < kPhases; ++p) {
+          arrivals.fetch_add(1, std::memory_order_acq_rel);
+          barrier->wait(slot);
+          // Everyone must observe a full phase's arrivals.
+          if (arrivals.load(std::memory_order_acquire) < kParticipants * (p + 1)) {
+            mismatches.fetch_add(1);
+          }
+          barrier->wait(slot);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0) << mode_label(mode);
+    EXPECT_EQ(arrivals.load(), static_cast<int>(kParticipants) * kPhases) << mode_label(mode);
+  }
+}
+
+TEST(RawBarrier, ArriveJoinStyleReleasesOnlyTheRoot) {
+  // Workers arrive() and move on; the root's join() must not return
+  // until every arrival landed.  Arrive/join style needs an external
+  // fork signal ordering the next phase after the current join (in the
+  // pool that is the generation word) — `signal` plays that role here.
+  constexpr unsigned kParticipants = 4;
+  constexpr int kPhases = 300;
+  for (BarrierMode mode : kAllModes) {
+    const auto barrier = make_barrier(mode, kParticipants, /*group_size=*/2);
+    std::atomic<int> arrived{0};
+    std::atomic<int> early{0};
+    std::atomic<int> signal{0};
+    std::vector<std::thread> workers;
+    for (unsigned slot = 1; slot < kParticipants; ++slot) {
+      workers.emplace_back([&, slot] {
+        for (int p = 0; p < kPhases; ++p) {
+          while (signal.load(std::memory_order_acquire) < p) std::this_thread::yield();
+          arrived.fetch_add(1, std::memory_order_acq_rel);
+          barrier->arrive(slot);
+        }
+      });
+    }
+    for (int p = 0; p < kPhases; ++p) {
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+      barrier->join(0);
+      if (arrived.load(std::memory_order_acquire) < static_cast<int>(kParticipants) * (p + 1)) {
+        early.fetch_add(1);
+      }
+      signal.store(p + 1, std::memory_order_release);
+    }
+    for (auto& t : workers) t.join();
+    EXPECT_EQ(early.load(), 0) << mode_label(mode);
+  }
+}
+
+TEST(HierarchicalBarrier, GroupGeometry) {
+  HierarchicalBarrier b(10, 4);
+  EXPECT_EQ(b.participants(), 10u);
+  EXPECT_EQ(b.group_size(), 4u);
+  EXPECT_EQ(b.group_count(), 3u);  // 4 + 4 + 2
+  // group_size 0 collapses to one flat group.
+  HierarchicalBarrier flat(6, 0);
+  EXPECT_EQ(flat.group_size(), 6u);
+  EXPECT_EQ(flat.group_count(), 1u);
+}
+
+TEST(PoolSharding, GroupAccessorsMatchCompactBinding) {
+  ThreadPool pool(8, BarrierMode::kSpin, /*group_size=*/3);
+  EXPECT_EQ(pool.group_size(), 3u);
+  EXPECT_EQ(pool.group_count(), 3u);
+  EXPECT_EQ(pool.group_of(0), 0u);
+  EXPECT_EQ(pool.group_of(2), 0u);
+  EXPECT_EQ(pool.group_of(3), 1u);
+  EXPECT_EQ(pool.group_of(7), 2u);
+  EXPECT_EQ(pool.group_threads(0), (std::pair<unsigned, unsigned>{0u, 3u}));
+  EXPECT_EQ(pool.group_threads(2), (std::pair<unsigned, unsigned>{6u, 8u}));
+}
+
+TEST(PoolSharding, GroupSizeClampsToPool) {
+  ThreadPool pool(4, BarrierMode::kHierarchical, /*group_size=*/64);
+  EXPECT_EQ(pool.group_size(), 4u);
+  EXPECT_EQ(pool.group_count(), 1u);
+}
+
+TEST(ParallelPhases, RunsPhasesInOrderOverOwnChunks) {
+  constexpr std::size_t kN = 600;
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(4, mode, /*group_size=*/2);
+    std::vector<double> a(kN, 0.0), b(kN, 0.0), c(kN, 0.0);
+    pool.parallel_phases(0, kN, {
+        [&](std::size_t lo, std::size_t hi, unsigned, unsigned) {
+          for (std::size_t i = lo; i < hi; ++i) a[i] = static_cast<double>(i);
+        },
+        // Phase 2 reads phase 1's writes of the *same chunk* — the
+        // group-local join contract.
+        [&](std::size_t lo, std::size_t hi, unsigned, unsigned) {
+          for (std::size_t i = lo; i < hi; ++i) b[i] = 2.0 * a[i];
+        },
+        [&](std::size_t lo, std::size_t hi, unsigned, unsigned) {
+          for (std::size_t i = lo; i < hi; ++i) c[i] = b[i] + 1.0;
+        },
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(c[i], 2.0 * static_cast<double>(i) + 1.0) << mode_label(mode) << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelPhases, ReportsThreadAndGroupIds) {
+  ThreadPool pool(4, BarrierMode::kSpin, /*group_size=*/2);
+  std::vector<std::atomic<int>> group_seen(pool.group_count());
+  pool.parallel_phases(0, 4, {
+      [&](std::size_t, std::size_t, unsigned tid, unsigned group) {
+        EXPECT_EQ(group, pool.group_of(tid));
+        group_seen[group] += 1;
+      },
+  });
+  int total = 0;
+  for (auto& g : group_seen) total += g.load();
+  EXPECT_EQ(total, 4);
+}
+
+TEST(ParallelPhases, SerialFallbackKeepsPhaseOrder) {
+  ThreadPool pool(1, BarrierMode::kCondvar);
+  std::vector<int> order;
+  pool.parallel_phases(0, 10, {
+      [&](std::size_t, std::size_t, unsigned, unsigned) { order.push_back(1); },
+      [&](std::size_t, std::size_t, unsigned, unsigned) { order.push_back(2); },
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(ParallelPhases, NestedCallDegradesToSerial) {
+  ThreadPool pool(4, BarrierMode::kSpin, /*group_size=*/2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t, std::size_t, unsigned) {
+    pool.parallel_phases(0, 8, {
+        [&](std::size_t b, std::size_t e, unsigned, unsigned) {
+          count += static_cast<int>(e - b);
+        },
+    });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelPhases, ExceptionInOnePhaseStillJoinsAndRethrows) {
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(4, mode, /*group_size=*/2);
+    std::atomic<int> last_phase_ran{0};
+    try {
+      pool.parallel_phases(0, 8, {
+          [&](std::size_t b, std::size_t, unsigned, unsigned) {
+            if (b == 0) throw std::runtime_error("phase failed");
+          },
+          [&](std::size_t, std::size_t, unsigned, unsigned) { last_phase_ran.fetch_add(1); },
+      });
+      FAIL() << "expected rethrow under " << mode_label(mode);
+    } catch (const std::runtime_error&) {
+    }
+    // Non-throwing threads still ran phase 2 (barrier arrivals stayed
+    // balanced), and the pool is reusable.
+    EXPECT_GT(last_phase_ran.load(), 0) << mode_label(mode);
+    std::atomic<int> count{0};
+    pool.parallel_phases(0, 16, {
+        [&](std::size_t b, std::size_t e, unsigned, unsigned) {
+          count += static_cast<int>(e - b);
+        },
+    });
+    EXPECT_EQ(count.load(), 16) << mode_label(mode);
+  }
+}
+
+TEST(ParallelPhases, EmptyInputsAreNoops) {
+  ThreadPool pool(2, BarrierMode::kSpin);
+  bool called = false;
+  pool.parallel_phases(3, 3, {
+      [&](std::size_t, std::size_t, unsigned, unsigned) { called = true; },
+  });
+  pool.parallel_phases(0, 10, {});
+  EXPECT_FALSE(called);
+}
