@@ -81,7 +81,13 @@ class Histogram {
 
   /// Quantile estimate for q in [0,1]: walks the cumulative bucket
   /// counts and log-interpolates inside the target bucket, clamped to
-  /// the exact observed [min, max].  NaN when empty.
+  /// the exact observed [min, max].  q=0 and q=1 return the exact
+  /// min/max.  When every sample landed in a single bucket the
+  /// histogram carries no intra-bucket rank information, so every
+  /// interior quantile returns the same bucket-clamped estimate (the
+  /// bucket's geometric midpoint clamped to [min, max]) rather than a
+  /// fabricated spread; that estimate is within a factor of
+  /// sqrt(growth) of any true interior quantile.  NaN when empty.
   [[nodiscard]] double quantile(double q) const;
 
   /// Bucket the value v falls into.
@@ -134,8 +140,10 @@ class Registry {
   std::vector<Named<Histogram>> histograms_;
 };
 
-/// Sanitize an arbitrary metric name into the Prometheus charset
-/// ([a-zA-Z0-9_]; everything else becomes '_').
+/// Sanitize an arbitrary metric name into the Prometheus charset:
+/// each run of characters outside [a-zA-Z0-9_] collapses into a single
+/// '_' (also merging with an adjacent literal '_'), and a leading
+/// digit — or an empty input — gains a '_' prefix.
 std::string prometheus_name(const std::string& name);
 
 }  // namespace ookami::metrics

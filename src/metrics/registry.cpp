@@ -121,6 +121,37 @@ double Histogram::quantile(double q) const {
 double Histogram::quantile_locked(double q) const {
   if (count_ == 0) return kNaN;
   q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Degenerate layout: every sample landed in one log bucket, so the
+  // histogram has no intra-bucket distribution information at all.
+  // Interpolating on rank here manufactures a spread the data never
+  // recorded (p10 < p50 < p90 out of identical knowledge), so instead
+  // every interior quantile returns the same bucket-clamped estimate:
+  // the geometric midpoint of the occupied bucket clamped to the
+  // observed [min, max].  The estimate is off from any true interior
+  // quantile by at most a factor of sqrt(growth) (half a bucket in log
+  // space), tightened further whenever min/max narrow the bucket.
+  std::size_t occupied = buckets_.size();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (occupied != buckets_.size()) {
+      occupied = buckets_.size();  // second occupied bucket: not degenerate
+      break;
+    }
+    occupied = i;
+  }
+  if (occupied != buckets_.size()) {
+    const std::size_t i = occupied;
+    double lo = i == 0 ? std::min(min_, opts_.min_value) : bucket_upper(i - 1);
+    double hi = i + 1 >= buckets_.size() ? std::max(max_, bucket_upper(i - 1)) : bucket_upper(i);
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (!(lo > 0.0) || !(hi > lo)) return std::clamp(hi, min_, max_);
+    return std::clamp(lo * std::sqrt(hi / lo), min_, max_);
+  }
+
   const double target = q * static_cast<double>(count_);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -203,7 +234,14 @@ std::string prometheus_name(const std::string& name) {
   for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
                     c == '_';
-    out.push_back(ok ? c : '_');
+    if (ok) {
+      out.push_back(c);
+    } else if (out.empty() || out.back() != '_') {
+      // Collapse each run of invalid characters into a single '_' so
+      // "a//b" and "a/b" don't alias into different-looking names with
+      // double underscores ("a__b" vs "a_b").
+      out.push_back('_');
+    }
   }
   if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
   return out;

@@ -1,0 +1,163 @@
+#include "ookami/serve/catalog.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ookami/common/rng.hpp"
+#include "ookami/hpcc/hpcc.hpp"
+#include "ookami/npb/cg.hpp"
+#include "ookami/vecmath/vecmath.hpp"
+
+namespace ookami::serve {
+
+std::uint64_t digest_doubles(const double* data, std::size_t n) {
+  // FNV-1a over the raw 8-byte patterns: bit-exact output comparison,
+  // insensitive to -0.0 vs 0.0 only in the way the bits themselves are.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &data[i], sizeof bits);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+namespace {
+
+/// Deterministic input fill: stream keyed by (seed, salt), value i from
+/// counter i — identical regardless of which thread computes the job.
+void fill_inputs(std::span<double> out, std::uint64_t seed, std::uint64_t salt, double lo,
+                 double hi) {
+  const CounterRng rng(seed * 0x9e3779b97f4a7c15ull + salt);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = lo + (hi - lo) * rng.uniform(i);
+  }
+}
+
+/// Element-wise vecmath jobs: x -> f(x) over `n` doubles.  The whole
+/// batch is one parallel_for over *jobs*; every job is computed inside
+/// a single worker chunk, so chunking never moves element boundaries
+/// and batched results are bit-identical to solo runs.
+template <void (*Fn)(std::span<const double>, std::span<double>), int Lo, int Hi>
+void run_elementwise(std::span<BatchItem> items, ThreadPool& pool) {
+  pool.parallel_for(0, items.size(), [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t j = begin; j < end; ++j) {
+      BatchItem& item = items[j];
+      std::vector<double> x(item.n);
+      std::vector<double> y(item.n);
+      fill_inputs(x, item.seed, /*salt=*/1, Lo, Hi);
+      Fn(x, y);
+      item.digest = digest_doubles(y.data(), y.size());
+    }
+  });
+}
+
+// vecmath array drivers have trailing default arguments; plain-span
+// wrappers give them the uniform signature the template wants.
+void exp_fn(std::span<const double> x, std::span<double> y) { vecmath::exp_array(x, y); }
+void log_fn(std::span<const double> x, std::span<double> y) {
+  // log's domain is (0, inf): shift the generic [0,1) stream off zero.
+  std::vector<double> shifted(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) shifted[i] = 1e-6 + (x[i] + 8.0);
+  vecmath::log_array(shifted, y);
+}
+void sin_fn(std::span<const double> x, std::span<double> y) { vecmath::sin_array(x, y); }
+void tanh_fn(std::span<const double> x, std::span<double> y) { vecmath::tanh_array(x, y); }
+void sqrt_fn(std::span<const double> x, std::span<double> y) {
+  std::vector<double> nonneg(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) nonneg[i] = x[i] + 8.0;  // inputs are [-8,8)
+  vecmath::sqrt_array(nonneg, y);
+}
+
+/// npb.cg.spmv job: a synthetic banded CSR matrix (13 nonzeros per row,
+/// deterministic values) times a deterministic vector.  The matrix is
+/// rebuilt per job — O(nnz), same order as the spmv itself.
+void run_spmv(std::span<BatchItem> items, ThreadPool& pool) {
+  pool.parallel_for(0, items.size(), [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t j = begin; j < end; ++j) {
+      BatchItem& item = items[j];
+      const int n = static_cast<int>(item.n);
+      constexpr int kNnzPerRow = 13;
+      npb::CsrMatrix a;
+      a.n = n;
+      a.rowstr.resize(static_cast<std::size_t>(n) + 1);
+      a.colidx.reserve(static_cast<std::size_t>(n) * kNnzPerRow);
+      a.a.reserve(static_cast<std::size_t>(n) * kNnzPerRow);
+      const CounterRng vals(item.seed * 0x9e3779b97f4a7c15ull + 2);
+      const int stride = std::max(1, n / kNnzPerRow);
+      for (int row = 0; row < n; ++row) {
+        a.rowstr[static_cast<std::size_t>(row)] = static_cast<int>(a.a.size());
+        for (int k = 0; k < kNnzPerRow; ++k) {
+          a.colidx.push_back((row + k * stride) % n);
+          a.a.push_back(vals.uniform(static_cast<std::uint64_t>(row) * kNnzPerRow +
+                                     static_cast<std::uint64_t>(k)) -
+                        0.5);
+        }
+      }
+      a.rowstr[static_cast<std::size_t>(n)] = static_cast<int>(a.a.size());
+      std::vector<double> x(item.n);
+      std::vector<double> y(item.n);
+      fill_inputs(x, item.seed, /*salt=*/3, -1.0, 1.0);
+      // Nested submission degrades to serial inside a worker chunk (the
+      // pool's one-region rule), keeping the job self-contained.
+      npb::spmv(a, x, y, pool);
+      item.digest = digest_doubles(y.data(), y.size());
+    }
+  });
+}
+
+/// hpcc.dgemm job: C = A*B at dimension n with the tuned blocked path.
+void run_dgemm(std::span<BatchItem> items, ThreadPool& pool) {
+  pool.parallel_for(0, items.size(), [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t j = begin; j < end; ++j) {
+      BatchItem& item = items[j];
+      const std::size_t n = item.n;
+      std::vector<double> a(n * n);
+      std::vector<double> b(n * n);
+      std::vector<double> c(n * n, 0.0);
+      fill_inputs(a, item.seed, /*salt=*/4, -1.0, 1.0);
+      fill_inputs(b, item.seed, /*salt=*/5, -1.0, 1.0);
+      hpcc::dgemm(hpcc::GemmImpl::kTuned, n, a.data(), b.data(), c.data(), pool);
+      item.digest = digest_doubles(c.data(), c.size());
+    }
+  });
+}
+
+}  // namespace
+
+Catalog::Catalog() {
+  constexpr std::size_t kMaxElems = std::size_t{1} << 22;  // 32 MiB x+y per job
+  kernels_ = {
+      {"vecmath.exp", &run_elementwise<exp_fn, -8, 8>, kMaxElems},
+      {"vecmath.log", &run_elementwise<log_fn, -8, 8>, kMaxElems},
+      {"vecmath.sin", &run_elementwise<sin_fn, -8, 8>, kMaxElems},
+      {"vecmath.tanh", &run_elementwise<tanh_fn, -8, 8>, kMaxElems},
+      {"vecmath.sqrt", &run_elementwise<sqrt_fn, -8, 8>, kMaxElems},
+      {"npb.cg.spmv", &run_spmv, std::size_t{1} << 21},
+      {"hpcc.dgemm", &run_dgemm, 768},
+  };
+}
+
+const Catalog& Catalog::global() {
+  static const Catalog catalog;
+  return catalog;
+}
+
+const ServableKernel* Catalog::find(std::string_view name) const {
+  for (const auto& k : kernels_) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const auto& k : kernels_) out.push_back(k.name);
+  return out;
+}
+
+}  // namespace ookami::serve

@@ -1,0 +1,282 @@
+#include "ookami/serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ookami::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Index just past the blank line ending the header block, or npos.
+std::size_t header_end(const std::string& buf) {
+  const std::size_t crlf = buf.find("\r\n\r\n");
+  const std::size_t lf = buf.find("\n\n");
+  if (crlf == std::string::npos) return lf == std::string::npos ? std::string::npos : lf + 2;
+  if (lf == std::string::npos || crlf + 2 <= lf) return crlf + 4;
+  return lf + 2;
+}
+
+/// Split the header block into lines, tolerating both CRLF and LF.
+std::vector<std::string> header_lines(const std::string& block) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    std::size_t nl = block.find('\n', pos);
+    if (nl == std::string::npos) nl = block.size();
+    std::size_t end = nl;
+    if (end > pos && block[end - 1] == '\r') --end;
+    if (end > pos) lines.push_back(block.substr(pos, end - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+bool parse_content_length(const std::vector<std::pair<std::string, std::string>>& headers,
+                          std::size_t& out) {
+  out = 0;
+  for (const auto& [name, value] : headers) {
+    if (name != "content-length") continue;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || v > kMaxBodyBytes) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  }
+  return true;  // absent = 0
+}
+
+}  // namespace
+
+std::string HttpRequest::header(std::string_view name) const {
+  for (const auto& [n, v] : headers) {
+    if (n == name) return v;
+  }
+  return {};
+}
+
+bool SocketReader::fill() {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+ReadStatus SocketReader::read_request(HttpRequest& out) {
+  std::size_t head = header_end(buf_);
+  while (head == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes) return ReadStatus::kMalformed;
+    if (!fill()) return buf_.empty() ? ReadStatus::kClosed : ReadStatus::kMalformed;
+    head = header_end(buf_);
+  }
+  const std::vector<std::string> lines = header_lines(buf_.substr(0, head));
+  if (lines.empty()) return ReadStatus::kMalformed;
+
+  out = HttpRequest{};
+  {
+    // "METHOD SP target SP HTTP/x.y"
+    const std::string& start = lines.front();
+    const std::size_t sp1 = start.find(' ');
+    const std::size_t sp2 = start.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) return ReadStatus::kMalformed;
+    out.method = start.substr(0, sp1);
+    out.target = start.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (start.compare(sp2 + 1, 5, "HTTP/") != 0) return ReadStatus::kMalformed;
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) return ReadStatus::kMalformed;
+    out.headers.emplace_back(lowercase(trim(lines[i].substr(0, colon))),
+                             trim(lines[i].substr(colon + 1)));
+  }
+  std::size_t body_len = 0;
+  if (!parse_content_length(out.headers, body_len)) return ReadStatus::kMalformed;
+  while (buf_.size() < head + body_len) {
+    if (!fill()) return ReadStatus::kMalformed;
+  }
+  out.body = buf_.substr(head, body_len);
+  buf_.erase(0, head + body_len);
+  return ReadStatus::kOk;
+}
+
+bool SocketReader::read_response(int& status, std::string& body) {
+  std::size_t head = header_end(buf_);
+  while (head == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes) return false;
+    if (!fill()) return false;
+    head = header_end(buf_);
+  }
+  const std::vector<std::string> lines = header_lines(buf_.substr(0, head));
+  if (lines.empty() || lines.front().compare(0, 5, "HTTP/") != 0) return false;
+  {
+    const std::size_t sp = lines.front().find(' ');
+    if (sp == std::string::npos) return false;
+    status = std::atoi(lines.front().c_str() + sp + 1);
+    if (status < 100 || status > 599) return false;
+  }
+  std::vector<std::pair<std::string, std::string>> headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) return false;
+    headers.emplace_back(lowercase(trim(lines[i].substr(0, colon))),
+                         trim(lines[i].substr(colon + 1)));
+  }
+  std::size_t body_len = 0;
+  if (!parse_content_length(headers, body_len)) return false;
+  while (buf_.size() < head + body_len) {
+    if (!fill()) return false;
+  }
+  body = buf_.substr(head, body_len);
+  buf_.erase(0, head + body_len);
+  return true;
+}
+
+bool write_http_response(int fd, int status, const std::string& body,
+                         const char* content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + status_reason(status) +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: keep-alive\r\n\r\n" + body;
+  return send_all(fd, out);
+}
+
+bool write_http_request(int fd, const std::string& method, const std::string& target,
+                        const std::string& body) {
+  std::string out = method + " " + target +
+                    " HTTP/1.1\r\nHost: ookamid\r\nContent-Type: application/json"
+                    "\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body;
+  return send_all(fd, out);
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void HttpClient::ensure_connected() {
+  if (fd_ >= 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("HttpClient: bad IPv4 host '" + host_ + "'");
+  }
+  // Bounded retry: the daemon may still be binding its socket.
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("HttpClient: socket() failed");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      fd_ = fd;
+      return;
+    }
+    ::close(fd);
+    if (attempt >= 50) {
+      throw std::runtime_error("HttpClient: cannot connect to " + host_ + ":" +
+                               std::to_string(port_) + " (" + std::strerror(errno) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+HttpClient::Result HttpClient::roundtrip(const std::string& method, const std::string& target,
+                                         const std::string& body) {
+  ensure_connected();
+  if (!write_http_request(fd_, method, target, body)) {
+    // The server may have dropped an idle keep-alive connection; one
+    // reconnect attempt keeps long-running clients simple.
+    disconnect();
+    ensure_connected();
+    if (!write_http_request(fd_, method, target, body)) {
+      disconnect();
+      throw std::runtime_error("HttpClient: send failed");
+    }
+  }
+  SocketReader reader(fd_);
+  Result r;
+  if (!reader.read_response(r.status, r.body)) {
+    disconnect();
+    throw std::runtime_error("HttpClient: connection closed mid-response");
+  }
+  return r;
+}
+
+HttpClient::Result HttpClient::get(const std::string& target) {
+  return roundtrip("GET", target, "");
+}
+
+HttpClient::Result HttpClient::post(const std::string& target, const std::string& body) {
+  return roundtrip("POST", target, body);
+}
+
+}  // namespace ookami::serve

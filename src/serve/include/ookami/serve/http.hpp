@@ -1,0 +1,93 @@
+#pragma once
+// Minimal HTTP/1.1 over local TCP — just enough for ookamid's four
+// endpoints and the loadgen/test clients, with zero dependencies.
+//
+// Scope deliberately small: keep-alive request/response with
+// Content-Length framing (no chunked encoding, no TLS, IPv4 loopback
+// dotted-quad hosts only).  Both sides always send Content-Length, so
+// framing is unambiguous.  Limits (64 KiB of headers, 1 MiB of body)
+// bound what a misbehaving peer can make the daemon buffer.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ookami::serve {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< names lowercased
+
+  /// Header value or empty string (names matched lowercase).
+  [[nodiscard]] std::string header(std::string_view name) const;
+};
+
+enum class ReadStatus {
+  kOk,
+  kClosed,     ///< orderly EOF before a request started
+  kMalformed,  ///< framing/parse error — caller should drop the connection
+};
+
+/// Buffered reader bound to one socket; owns the keep-alive leftover
+/// between requests.  Does not own the fd.
+class SocketReader {
+ public:
+  explicit SocketReader(int fd) : fd_(fd) {}
+
+  /// Read one full request (start line + headers + Content-Length body).
+  ReadStatus read_request(HttpRequest& out);
+
+  /// Read one full response; false on EOF/parse failure.
+  bool read_response(int& status, std::string& body);
+
+ private:
+  bool fill();  ///< recv more into buf_; false on EOF/error
+
+  int fd_;
+  std::string buf_;
+};
+
+/// Serialize and send a response with Content-Length and the given
+/// content type; false when the peer is gone.
+bool write_http_response(int fd, int status, const std::string& body,
+                         const char* content_type = "application/json");
+
+/// Send a request (Content-Length framed); false when the peer is gone.
+bool write_http_request(int fd, const std::string& method, const std::string& target,
+                        const std::string& body);
+
+/// Blocking HTTP client over one persistent connection.  Connects
+/// lazily with bounded retries (the daemon may still be binding when a
+/// test or the load generator starts).  Throws std::runtime_error when
+/// the server cannot be reached or the connection dies mid-exchange.
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  struct Result {
+    int status = 0;
+    std::string body;
+  };
+
+  Result get(const std::string& target);
+  Result post(const std::string& target, const std::string& body);
+
+ private:
+  void ensure_connected();
+  void disconnect();
+  Result roundtrip(const std::string& method, const std::string& target,
+                   const std::string& body);
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace ookami::serve

@@ -1,0 +1,86 @@
+#pragma once
+// Bounded admission queue with explicit backpressure.
+//
+// The accept path must never block on the compute path: when the queue
+// is at capacity, try_push() fails immediately and the connection
+// handler turns that into a typed `overloaded` response — the client
+// decides whether to retry, the daemon keeps accepting.  Depth is the
+// single back-pressure knob (OOKAMI_SERVE_QUEUE_DEPTH).
+//
+// The consumer side pops *batches*: the FIFO head plus up to max-1
+// more queued requests compatible with it (same servable kernel, same
+// backend constraint), removed in queue order.  Incompatible requests
+// keep their FIFO positions, and the scan is bounded by the queue
+// depth, so coalescing can reorder a request past at most depth-1
+// earlier incompatible ones — bounded, not starvation.
+//
+// close() flips the queue into drain mode: pushes fail (the server
+// maps that to `draining`), pops keep returning whatever is already
+// queued, and once empty pop_batch() returns an empty batch to tell
+// the executor to exit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ookami/serve/catalog.hpp"
+
+namespace ookami::serve {
+
+/// One admitted request in flight: the immutable submission, the
+/// execution results the batch runner fills in, and the promise the
+/// connection handler waits on.
+struct Pending {
+  // Submission (set by the connection thread before try_push).
+  const ServableKernel* servable = nullptr;
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  int backend_constraint = -1;  ///< -1 = none, else static_cast<int>(simd::Backend)
+  std::uint64_t enq_ns = 0;     ///< trace::now_ns() at admission
+
+  // Results (set by the executor before done is fulfilled).
+  std::uint64_t digest = 0;
+  std::string backend_used;
+  double queue_s = 0.0;
+  double run_s = 0.0;
+  std::size_t batch = 1;
+  bool failed = false;          ///< kernel threw; maps to `internal`
+  std::string fail_reason;
+
+  std::promise<void> done;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t depth) : capacity_(depth == 0 ? 1 : depth) {}
+
+  /// Admit `p`; false (without blocking) when full or closed.
+  bool try_push(std::shared_ptr<Pending> p);
+
+  /// Block until a request is available (or the queue is closed and
+  /// empty, returning an empty batch).  The batch is the FIFO head plus
+  /// up to max-1 compatible requests (see file comment).
+  std::vector<std::shared_ptr<Pending>> pop_batch(std::size_t max);
+
+  /// Enter drain mode (idempotent): pushes fail, pops drain the rest.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Pending>> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ookami::serve

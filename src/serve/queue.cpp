@@ -1,0 +1,54 @@
+#include "ookami/serve/queue.hpp"
+
+namespace ookami::serve {
+
+bool AdmissionQueue::try_push(std::shared_ptr<Pending> p) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    q_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<std::shared_ptr<Pending>> AdmissionQueue::pop_batch(std::size_t max) {
+  if (max == 0) max = 1;
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  std::vector<std::shared_ptr<Pending>> out;
+  if (q_.empty()) return out;  // closed and drained
+  out.push_back(q_.front());
+  q_.pop_front();
+  for (auto it = q_.begin(); it != q_.end() && out.size() < max;) {
+    const bool compatible = (*it)->servable == out.front()->servable &&
+                            (*it)->backend_constraint == out.front()->backend_constraint;
+    if (compatible) {
+      out.push_back(*it);
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard lk(mu_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+}  // namespace ookami::serve

@@ -1,0 +1,414 @@
+#include "ookami/serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ookami/dispatch/registry.hpp"
+#include "ookami/harness/json.hpp"
+#include "ookami/serve/http.hpp"
+#include "ookami/serve/protocol.hpp"
+#include "ookami/simd/backend.hpp"
+#include "ookami/trace/trace.hpp"
+
+namespace ookami::serve {
+
+namespace json = harness::json;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+// Metric-name constants.  Latency histograms are per kernel and built
+// on demand ("serve/latency/<kernel>"); prometheus_name() sanitizes the
+// dots and slashes for the exposition format.
+constexpr const char* kQueueWaitHist = "serve/queue_wait";
+constexpr const char* kBatchSizeHist = "serve/batch_size";
+
+metrics::HistogramOptions batch_size_buckets() {
+  metrics::HistogramOptions opts;
+  opts.min_value = 1.0;  // batch of 1 = underflow bucket, growth 2 upward
+  opts.growth = 2.0;
+  opts.max_buckets = 12;
+  return opts;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions opts;
+  opts.port = static_cast<std::uint16_t>(env_size("OOKAMI_SERVE_PORT", 34127));
+  opts.queue_depth = env_size("OOKAMI_SERVE_QUEUE_DEPTH", opts.queue_depth);
+  opts.max_batch = env_size("OOKAMI_SERVE_BATCH", opts.max_batch);
+  opts.threads = static_cast<unsigned>(env_size("OOKAMI_SERVE_THREADS", 0));
+  return opts;
+}
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      pool_(opts_.threads),
+      queue_(opts_.queue_depth),
+      catalog_(&Catalog::global()),
+      max_batch_(opts_.max_batch == 0 ? 1 : opts_.max_batch) {}
+
+Server::~Server() { drain(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: bad IPv4 host '" + opts_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + opts_.host + ":" +
+                             std::to_string(opts_.port) + " (" + reason + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  executor_thread_ = std::thread(&Server::executor_loop, this);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::drain() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    // A concurrent drain is in progress; wait for it by joining on the
+    // running_ flag flip (cheap spin — drain is a shutdown-path rarity).
+    while (running_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return;
+  }
+  // 1. No new admissions: pushes fail from here on (typed `draining`).
+  queue_.close();
+  // 2. Stop accepting; shutdown() unblocks the accept(2) call.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 3. The executor finishes everything already admitted, then exits —
+  //    every in-flight client's promise is fulfilled before this join.
+  if (executor_thread_.joinable()) executor_thread_.join();
+  // 4. Kick idle keep-alive connections out of recv() and join them;
+  //    SHUT_RD leaves in-progress response writes intact.
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  reap_connections(/*join_all=*/true);
+  registry_.gauge("serve/queue_depth").set(0.0);
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::reap_connections(bool join_all) {
+  std::vector<std::unique_ptr<Connection>> done;
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (join_all || (*it)->finished.load(std::memory_order_acquire)) {
+        done.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : done) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void Server::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down: drain in progress
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard lk(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread(&Server::connection_loop, this, raw);
+    reap_connections(/*join_all=*/false);
+  }
+}
+
+void Server::connection_loop(Connection* conn) {
+  SocketReader reader(conn->fd);
+  while (true) {
+    HttpRequest req;
+    const ReadStatus st = reader.read_request(req);
+    if (st == ReadStatus::kClosed) break;
+    if (st == ReadStatus::kMalformed) {
+      write_http_response(conn->fd, 400,
+                          error_body(ErrorCode::kBadRequest, "malformed HTTP request"));
+      break;
+    }
+    handle_request(conn->fd, req);
+  }
+  // Clear the fd under the lock so drain()'s SHUT_RD sweep either sees
+  // the socket still open (and shuts it down before we close) or sees
+  // -1 and skips — it can never touch a closed-and-reused fd number.
+  int fd = -1;
+  {
+    std::lock_guard lk(conns_mu_);
+    std::swap(fd, conn->fd);
+  }
+  if (fd >= 0) ::close(fd);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void Server::handle_request(int fd, const HttpRequest& req) {
+  if (req.method == "POST" && req.target == "/run") {
+    handle_run(fd, req.body);
+    return;
+  }
+  if (req.method == "GET" && req.target == "/metrics") {
+    write_http_response(fd, 200, registry_.to_prometheus("ookami"),
+                        "text/plain; version=0.0.4");
+    return;
+  }
+  if (req.method == "GET" && req.target == "/kernels") {
+    json::Value arr = json::Value::array();
+    for (const auto& k : catalog_->kernels()) {
+      json::Value entry = json::Value::object();
+      entry.set("kernel", k.name);
+      entry.set("max_n", static_cast<unsigned long long>(k.max_n));
+      arr.push_back(std::move(entry));
+    }
+    write_http_response(fd, 200, arr.dump(0));
+    return;
+  }
+  if (req.method == "GET" && req.target == "/healthz") {
+    write_http_response(fd, 200, "{\"status\":\"ok\"}");
+    return;
+  }
+  if (req.method == "POST" && req.target == "/config") {
+    try {
+      const json::Value doc = json::Value::parse(req.body);
+      const json::Value* batch = doc.is_object() ? doc.find("batch") : nullptr;
+      if (batch == nullptr || !batch->is_number() || !(batch->as_number() >= 1.0)) {
+        write_http_response(fd, 400,
+                            error_body(ErrorCode::kBadRequest, "'batch' must be >= 1"));
+        return;
+      }
+      const auto value = static_cast<std::size_t>(batch->as_number());
+      max_batch_.store(value, std::memory_order_relaxed);
+      json::Value ok = json::Value::object();
+      ok.set("status", "ok");
+      ok.set("batch", static_cast<unsigned long long>(value));
+      write_http_response(fd, 200, ok.dump(0));
+    } catch (const json::ParseError&) {
+      write_http_response(fd, 400, error_body(ErrorCode::kBadRequest, "malformed JSON"));
+    }
+    return;
+  }
+  write_http_response(fd, 404,
+                      error_body(ErrorCode::kBadRequest, "no such endpoint: " + req.target));
+}
+
+void Server::handle_run(int fd, const std::string& body) {
+  registry_.counter("serve/requests_total").add();
+  Request req;
+  std::string reason;
+  ErrorCode code = parse_request(body, req, reason);
+  if (code != ErrorCode::kNone) {
+    registry_.counter("serve/errors_bad_request").add();
+    write_http_response(fd, http_status(code), error_body(code, reason));
+    return;
+  }
+  const ServableKernel* servable = catalog_->find(req.kernel);
+  if (servable == nullptr) {
+    registry_.counter("serve/errors_unknown_kernel").add();
+    write_http_response(fd, http_status(ErrorCode::kUnknownKernel),
+                        error_body(ErrorCode::kUnknownKernel,
+                                   "kernel '" + req.kernel + "' is not servable"));
+    return;
+  }
+  if (req.n > servable->max_n) {
+    registry_.counter("serve/errors_bad_request").add();
+    write_http_response(fd, http_status(ErrorCode::kBadRequest),
+                        error_body(ErrorCode::kBadRequest,
+                                   "n exceeds " + req.kernel + " cap of " +
+                                       std::to_string(servable->max_n)));
+    return;
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pending->servable = servable;
+  pending->n = req.n;
+  pending->seed = req.seed;
+  pending->backend_constraint = req.has_backend ? static_cast<int>(req.backend) : -1;
+  pending->enq_ns = trace::now_ns();
+  std::future<void> done = pending->done.get_future();
+
+  if (!queue_.try_push(pending)) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    const ErrorCode reject = draining ? ErrorCode::kDraining : ErrorCode::kOverloaded;
+    registry_.counter(draining ? "serve/rejected_draining" : "serve/rejected_overloaded").add();
+    write_http_response(fd, http_status(reject),
+                        error_body(reject, draining ? "daemon is draining"
+                                                    : "admission queue is full"));
+    return;
+  }
+  registry_.gauge("serve/queue_depth").set(static_cast<double>(queue_.depth()));
+
+  done.wait();
+
+  if (pending->failed) {
+    registry_.counter("serve/errors_internal").add();
+    write_http_response(fd, http_status(ErrorCode::kInternal),
+                        error_body(ErrorCode::kInternal, pending->fail_reason));
+    return;
+  }
+  Response resp;
+  resp.kernel = req.kernel;
+  resp.n = req.n;
+  resp.seed = req.seed;
+  resp.backend = pending->backend_used;
+  resp.digest = digest_hex(pending->digest);
+  resp.batch = pending->batch;
+  resp.queue_us = pending->queue_s * 1e6;
+  resp.run_us = pending->run_s * 1e6;
+  resp.total_us = static_cast<double>(trace::now_ns() - pending->enq_ns) * 1e-3;
+  registry_.counter("serve/responses_ok").add();
+  served_.fetch_add(1, std::memory_order_relaxed);
+  write_http_response(fd, 200, ok_body(resp));
+}
+
+void Server::executor_loop() {
+  while (true) {
+    const std::vector<std::shared_ptr<Pending>> batch =
+        queue_.pop_batch(max_batch_.load(std::memory_order_relaxed));
+    if (batch.empty()) break;  // queue closed and drained
+    registry_.gauge("serve/queue_depth").set(static_cast<double>(queue_.depth()));
+    process_batch(batch);
+  }
+}
+
+void Server::process_batch(const std::vector<std::shared_ptr<Pending>>& batch) {
+  const ServableKernel* servable = batch.front()->servable;
+  const std::uint64_t deq_ns = trace::now_ns();
+  metrics::Histogram& queue_wait = registry_.histogram(kQueueWaitHist);
+  for (const auto& p : batch) {
+    p->queue_s = static_cast<double>(deq_ns - p->enq_ns) * 1e-9;
+    trace::record_span("serve/queue", p->enq_ns, deq_ns);
+    queue_wait.observe(p->queue_s);
+  }
+
+  // Backend constraint: same semantics as OOKAMI_SIMD_BACKEND, scoped
+  // to this batch (compatibility includes the constraint, so the whole
+  // batch shares it).
+  std::optional<simd::ScopedBackend> scoped;
+  if (batch.front()->backend_constraint >= 0) {
+    scoped.emplace(static_cast<simd::Backend>(batch.front()->backend_constraint));
+  }
+  const std::string backend_used =
+      simd::backend_name(dispatch::resolved_backend(servable->name));
+
+  std::vector<BatchItem> items(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    items[i].n = batch[i]->n;
+    items[i].seed = batch[i]->seed;
+  }
+
+  bool failed = false;
+  std::string fail_reason;
+  const std::uint64_t run_begin = trace::now_ns();
+  try {
+    OOKAMI_TRACE_SCOPE("serve/kernel");
+    servable->run(items, pool_);
+  } catch (const std::exception& e) {
+    failed = true;
+    fail_reason = e.what();
+  } catch (...) {
+    failed = true;
+    fail_reason = "unknown kernel failure";
+  }
+  const double run_s = static_cast<double>(trace::now_ns() - run_begin) * 1e-9;
+
+  registry_.counter("serve/batches_total").add();
+  registry_.histogram(kBatchSizeHist, batch_size_buckets())
+      .observe(static_cast<double>(batch.size()));
+  metrics::Histogram& latency = registry_.histogram("serve/latency/" + servable->name);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = *batch[i];
+    p.digest = items[i].digest;
+    p.backend_used = backend_used;
+    p.run_s = run_s;
+    p.batch = batch.size();
+    p.failed = failed;
+    p.fail_reason = fail_reason;
+    latency.observe(p.queue_s + p.run_s);
+    p.done.set_value();
+  }
+}
+
+// --- SIGTERM/SIGINT wiring ------------------------------------------------
+
+namespace {
+std::atomic<int> g_stop_signal{0};
+void on_stop_signal(int sig) { g_stop_signal.store(sig, std::memory_order_relaxed); }
+}  // namespace
+
+void install_stop_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = &on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+bool stop_requested() { return g_stop_signal.load(std::memory_order_relaxed) != 0; }
+
+void reset_stop_flag() { g_stop_signal.store(0, std::memory_order_relaxed); }
+
+}  // namespace ookami::serve

@@ -113,6 +113,18 @@ struct ScopeHooks {
   void* ctx = nullptr;
 };
 
+/// Record an already-completed span with explicit timestamps (from
+/// now_ns()).  For intervals that cannot be an RAII Scope because they
+/// start on one thread and end on another — e.g. ookamid's
+/// "serve/queue" span opens when the connection thread admits a request
+/// and closes when the executor dequeues it.  The event lands in the
+/// *calling* thread's buffer at the thread's current nesting depth;
+/// `name` must be an interned literal like any scope name.  No-op while
+/// tracing is disabled; scope hooks do not fire (there is no enclosed
+/// execution to sample).
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 double bytes = 0.0, double flops = 0.0);
+
 /// Install (or, with nullptr, remove) the scope hooks.  The pointed-to
 /// struct must stay valid until replaced; install/remove from a
 /// quiescent point (no instrumented work in flight), like collect().

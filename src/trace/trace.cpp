@@ -117,6 +117,18 @@ void set_scope_hooks(const ScopeHooks* hooks) {
   g_hooks.store(hooks, std::memory_order_release);
 }
 
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 double bytes, double flops) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local_buffer();
+  const std::size_t cap = registry().capacity.load(std::memory_order_relaxed);
+  if (buf.events.size() >= cap) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(Event{name, start_ns, end_ns, buf.tid, t_depth, bytes, flops});
+}
+
 void Scope::begin(const char* name, double bytes, double flops) {
   name_ = name;
   bytes_ = bytes;

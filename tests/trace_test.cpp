@@ -438,5 +438,51 @@ TEST_F(TraceTest, RooflineForRejectsUnknownMachine) {
   EXPECT_GT(a64fx.balance(), 0.0);
 }
 
+TEST_F(TraceTest, RecordSpanInjectsCompletedEvents) {
+  // A span that started "elsewhere" (another thread's timestamp) is
+  // recorded with the caller-supplied interval, not the call time.
+  const std::uint64_t start = now_ns();
+  spin_ns(100000);
+  const std::uint64_t end = now_ns();
+  record_span("serve/queue", start, end, 64.0, 0.0);
+  { OOKAMI_TRACE_SCOPE("anchor"); }
+
+  const auto events = collect();
+  ASSERT_EQ(events.size(), 2u);
+  const Event& span = events[0];
+  EXPECT_STREQ(span.name, "serve/queue");
+  EXPECT_EQ(span.start_ns, start);
+  EXPECT_EQ(span.end_ns, end);
+  EXPECT_DOUBLE_EQ(span.bytes, 64.0);
+  // Cross-thread pattern: the executor records a span whose start was
+  // stamped by a connection thread.
+  std::uint64_t other_start = 0;
+  std::thread t([&] { other_start = now_ns(); });
+  t.join();
+  record_span("cross", other_start, now_ns());
+  const auto again = collect();
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_EQ(again[2].start_ns, other_start);
+}
+
+TEST_F(TraceTest, RecordSpanDisabledModeIsInert) {
+  set_enabled(false);
+  const std::size_t threads_before = thread_count();
+  record_span("nope", 0, 100);
+  set_enabled(true);
+  EXPECT_TRUE(collect().empty());
+  EXPECT_EQ(thread_count(), threads_before);
+}
+
+TEST_F(TraceTest, RecordSpanHonorsBufferCap) {
+  set_thread_capacity(2);
+  clear();
+  record_span("a", 0, 1);
+  record_span("b", 1, 2);
+  record_span("c", 2, 3);  // over cap: dropped, counted
+  EXPECT_EQ(collect().size(), 2u);
+  EXPECT_EQ(dropped(), 1u);
+}
+
 }  // namespace
 }  // namespace ookami::trace
