@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "ookami/perf/machine.hpp"
@@ -181,6 +182,8 @@ std::vector<trace::Event> events_from_chrome(const json::Value& doc,
     double ts_us, dur_us, tid;
     double depth;  // < 0: reconstruct from containment
     double bytes, flops;
+    bool injected;
+    std::uint64_t req;
   };
   std::vector<Raw> raws;
   raws.reserve(arr->size());
@@ -195,10 +198,18 @@ std::vector<trace::Event> events_from_chrome(const json::Value& doc,
     r.depth = -1.0;
     r.bytes = 0.0;
     r.flops = 0.0;
+    r.injected = false;
+    r.req = 0;
     if (const json::Value* args = e.find("args"); args != nullptr && args->is_object()) {
       r.depth = args->number_or("depth", -1.0);
       r.bytes = args->number_or("bytes", 0.0);
       r.flops = args->number_or("flops", 0.0);
+      r.injected = args->number_or("span", 0.0) != 0.0;
+      // The request id is written as a 16-hex string: a 64-bit id does
+      // not survive a JSON double round-trip.
+      if (const std::string req = args->string_or("req", ""); !req.empty()) {
+        r.req = std::strtoull(req.c_str(), nullptr, 16);
+      }
     }
     raws.push_back(r);
   }
@@ -230,8 +241,12 @@ std::vector<trace::Event> events_from_chrome(const json::Value& doc,
                               : static_cast<std::int32_t>(open_ends.size());
     ev.bytes = r.bytes;
     ev.flops = r.flops;
+    ev.injected = r.injected;
+    ev.req = r.req;
     events.push_back(ev);
-    open_ends.push_back(end_us);
+    // Injected spans are not scopes: they must not act as enclosing
+    // intervals when reconstructing RAII nesting by containment.
+    if (!r.injected) open_ends.push_back(end_us);
   }
   return events;
 }

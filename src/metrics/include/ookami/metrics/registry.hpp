@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ookami::metrics {
@@ -56,6 +57,16 @@ struct HistogramOptions {
   }
 };
 
+/// One representative sample pinned to a histogram bucket: the exact
+/// observed value, the trace id of the request that produced it, and
+/// when it was observed.  The OpenMetrics exemplar mechanism — a p99
+/// bucket is a number, its exemplar is a *reproducible request*.
+struct Exemplar {
+  double value = 0.0;
+  std::uint64_t trace_id = 0;   ///< 0 = no exemplar recorded for the bucket
+  double timestamp_s = 0.0;     ///< unix seconds at observation
+};
+
 /// Log-bucketed distribution.  Thread-safe; copyable (snapshots).
 class Histogram {
  public:
@@ -66,6 +77,10 @@ class Histogram {
   /// Record one sample.  NaN is ignored; v <= min_value (including
   /// negatives) lands in the underflow bucket.
   void observe(double v);
+
+  /// Record one sample and attach `trace_id` as the bucket's exemplar
+  /// (last-write-wins per bucket; id 0 degrades to plain observe()).
+  void observe(double v, std::uint64_t trace_id);
 
   /// Fold another histogram in; throws std::invalid_argument when the
   /// bucket layouts differ.
@@ -96,6 +111,10 @@ class Histogram {
   [[nodiscard]] double bucket_upper(std::size_t i) const;
   /// Snapshot of per-bucket counts (size == options().max_buckets).
   [[nodiscard]] std::vector<std::uint64_t> buckets() const;
+  /// Snapshot of per-bucket exemplars (size == options().max_buckets);
+  /// trace_id == 0 means the bucket has none.  Empty vector when no
+  /// exemplar was ever recorded (the common, allocation-free case).
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
 
  private:
   [[nodiscard]] double quantile_locked(double q) const;
@@ -103,6 +122,7 @@ class Histogram {
   HistogramOptions opts_;
   mutable std::mutex mu_;
   std::vector<std::uint64_t> buckets_;
+  std::vector<Exemplar> exemplars_;  ///< lazily sized on first exemplar
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -123,9 +143,16 @@ class Registry {
   /// nullptr when the name is unknown.
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 
+  /// Point-in-time snapshot of every counter / gauge (for the flight
+  /// recorder's state dump; names are the raw registry names).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauge_values() const;
+
   /// Prometheus text exposition (one # TYPE block per metric, names
   /// sanitized and prefixed, histogram buckets cumulative with le
-  /// labels plus _sum/_count).
+  /// labels plus _sum/_count).  Buckets that carry an exemplar gain the
+  /// OpenMetrics exemplar suffix:
+  ///   ..._bucket{le="0.01"} 42 # {trace_id="00ab..."} 0.0093 1738000000.0
   [[nodiscard]] std::string to_prometheus(const std::string& prefix = "ookami") const;
 
  private:

@@ -1,6 +1,7 @@
 #include "ookami/metrics/registry.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -16,6 +17,17 @@ std::string fmt_double(double v) {
   std::snprintf(buf, sizeof buf, "%.9g", v);
   return buf;
 }
+
+std::string fmt_trace_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+double unix_seconds_now() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
 }  // namespace
 
 Histogram::Histogram(HistogramOptions opts) : opts_(opts) {
@@ -28,6 +40,7 @@ Histogram::Histogram(HistogramOptions opts) : opts_(opts) {
 Histogram::Histogram(const Histogram& other) : opts_(other.opts_) {
   std::lock_guard lk(other.mu_);
   buckets_ = other.buckets_;
+  exemplars_ = other.exemplars_;
   count_ = other.count_;
   sum_ = other.sum_;
   min_ = other.min_;
@@ -51,10 +64,17 @@ std::size_t Histogram::bucket_index(double v) const {
   return std::min(i, opts_.max_buckets - 1);
 }
 
-void Histogram::observe(double v) {
+void Histogram::observe(double v) { observe(v, 0); }
+
+void Histogram::observe(double v, std::uint64_t trace_id) {
   if (std::isnan(v)) return;
   std::lock_guard lk(mu_);
-  ++buckets_[bucket_index(v)];
+  const std::size_t b = bucket_index(v);
+  ++buckets_[b];
+  if (trace_id != 0) {
+    if (exemplars_.empty()) exemplars_.assign(opts_.max_buckets, Exemplar{});
+    exemplars_[b] = Exemplar{v, trace_id, unix_seconds_now()};
+  }
   if (count_ == 0) {
     min_ = v;
     max_ = v;
@@ -75,6 +95,17 @@ void Histogram::merge(const Histogram& other) {
   const Histogram snap(other);
   std::lock_guard lk(mu_);
   for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += snap.buckets_[i];
+  if (!snap.exemplars_.empty()) {
+    if (exemplars_.empty()) exemplars_.assign(opts_.max_buckets, Exemplar{});
+    // Last-write-wins per bucket: keep whichever exemplar is newer.
+    for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+      const Exemplar& theirs = snap.exemplars_[i];
+      if (theirs.trace_id != 0 &&
+          (exemplars_[i].trace_id == 0 || theirs.timestamp_s >= exemplars_[i].timestamp_s)) {
+        exemplars_[i] = theirs;
+      }
+    }
+  }
   if (snap.count_ > 0) {
     if (count_ == 0) {
       min_ = snap.min_;
@@ -179,6 +210,11 @@ std::vector<std::uint64_t> Histogram::buckets() const {
   return buckets_;
 }
 
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::lock_guard lk(mu_);
+  return exemplars_;
+}
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard lk(mu_);
   for (auto& c : counters_) {
@@ -228,6 +264,22 @@ const Histogram* Registry::find_histogram(const std::string& name) const {
   return nullptr;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) out.emplace_back(c.name, c.metric->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauge_values() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& g : gauges_) out.emplace_back(g.name, g.metric->value());
+  return out;
+}
+
 std::string prometheus_name(const std::string& name) {
   std::string out;
   out.reserve(name.size());
@@ -266,6 +318,7 @@ std::string Registry::to_prometheus(const std::string& prefix) const {
     const Histogram snap(*h.metric);  // consistent view
     out += "# TYPE " + n + " histogram\n";
     const auto buckets = snap.buckets();
+    const auto exemplars = snap.exemplars();
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < buckets.size(); ++i) {
       cum += buckets[i];
@@ -273,7 +326,16 @@ std::string Registry::to_prometheus(const std::string& prefix) const {
       // Emit only occupied boundaries plus +Inf to keep files small.
       if (buckets[i] == 0 && i + 1 < buckets.size()) continue;
       const std::string le = std::isinf(upper) ? "+Inf" : fmt_double(upper);
-      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cum);
+      if (i < exemplars.size() && exemplars[i].trace_id != 0) {
+        // OpenMetrics exemplar: the exact sample (and its trace id) that
+        // last landed in this bucket — the bridge from a p99 number to a
+        // retrievable span tree.
+        const Exemplar& ex = exemplars[i];
+        out += " # {trace_id=\"" + fmt_trace_id(ex.trace_id) + "\"} " + fmt_double(ex.value) +
+               " " + fmt_double(ex.timestamp_s);
+      }
+      out += "\n";
     }
     out += n + "_sum " + fmt_double(snap.count() ? snap.sum() : 0.0) + "\n";
     out += n + "_count " + std::to_string(snap.count()) + "\n";

@@ -210,8 +210,9 @@ bool write_http_request(int fd, const std::string& method, const std::string& ta
   return send_all(fd, out);
 }
 
-HttpClient::HttpClient(std::string host, std::uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+HttpClient::HttpClient(std::string host, std::uint16_t port, int connect_attempts)
+    : host_(std::move(host)), port_(port),
+      connect_attempts_(connect_attempts < 1 ? 1 : connect_attempts) {}
 
 HttpClient::~HttpClient() { disconnect(); }
 
@@ -241,7 +242,7 @@ void HttpClient::ensure_connected() {
       return;
     }
     ::close(fd);
-    if (attempt >= 50) {
+    if (attempt + 1 >= connect_attempts_) {
       throw std::runtime_error("HttpClient: cannot connect to " + host_ + ":" +
                                std::to_string(port_) + " (" + std::strerror(errno) + ")");
     }

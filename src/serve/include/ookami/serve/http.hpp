@@ -66,7 +66,10 @@ bool write_http_request(int fd, const std::string& method, const std::string& ta
 /// the server cannot be reached or the connection dies mid-exchange.
 class HttpClient {
  public:
-  HttpClient(std::string host, std::uint16_t port);
+  /// `connect_attempts` bounds the lazy-connect retry loop (20 ms
+  /// apart); tests that *want* connection-refused to surface fast pass
+  /// a small value instead of waiting out the default ~1 s.
+  HttpClient(std::string host, std::uint16_t port, int connect_attempts = 50);
   ~HttpClient();
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
@@ -87,6 +90,7 @@ class HttpClient {
 
   std::string host_;
   std::uint16_t port_;
+  int connect_attempts_;
   int fd_ = -1;
 };
 

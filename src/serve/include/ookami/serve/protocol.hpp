@@ -25,6 +25,7 @@
 //
 //   bad_request     400   malformed JSON / missing field / n out of range
 //   unknown_kernel  404   kernel not in the serving catalog
+//   not_found       404   no such resource (e.g. /trace/<id> not in ring)
 //   overloaded      429   admission queue at capacity (backpressure)
 //   draining        503   daemon is shutting down, no new admissions
 //   internal        500   kernel execution threw
@@ -41,6 +42,7 @@ enum class ErrorCode {
   kNone,
   kBadRequest,
   kUnknownKernel,
+  kNotFound,
   kOverloaded,
   kDraining,
   kInternal,
@@ -72,6 +74,7 @@ struct Response {
   std::uint64_t seed = 1;
   std::string backend;      ///< post-clamp SIMD variant the batch resolved
   std::string digest;       ///< hex FNV-1a of the output bits
+  std::string trace;        ///< 16-hex per-request trace id (GET /trace/<id>)
   std::size_t batch = 1;    ///< requests coalesced into the same kernel run
   double queue_us = 0.0;    ///< admission -> dequeue
   double run_us = 0.0;      ///< kernel batch wall time

@@ -43,6 +43,7 @@ struct Pending {
   std::uint64_t seed = 1;
   int backend_constraint = -1;  ///< -1 = none, else static_cast<int>(simd::Backend)
   std::uint64_t enq_ns = 0;     ///< trace::now_ns() at admission
+  std::uint64_t trace_id = 0;   ///< per-request id (nonzero once admitted)
 
   // Results (set by the executor before done is fulfilled).
   std::uint64_t digest = 0;

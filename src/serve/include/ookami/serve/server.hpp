@@ -25,12 +25,27 @@
 //     exposed live on GET /metrics.
 //
 // Endpoints:
-//   POST /run      execute a kernel (protocol.hpp)
-//   GET  /metrics  Prometheus text exposition of the live registry
-//   GET  /kernels  servable kernel names + size caps (JSON)
-//   GET  /healthz  {"status":"ok"}
-//   POST /config   {"batch": B} — runtime batching limit (1 disables
-//                  coalescing; loadgen uses this for A/B sweeps)
+//   POST /run           execute a kernel (protocol.hpp); the response
+//                       carries the request's 16-hex trace id
+//   GET  /metrics       Prometheus text exposition of the live registry
+//                       (histogram buckets carry OpenMetrics exemplars
+//                       pointing at trace ids; SLO burn gauges are
+//                       refreshed on every scrape)
+//   GET  /kernels       servable kernel names + size caps (JSON)
+//   GET  /healthz       uptime, build info, pool geometry, serve config
+//   GET  /trace/<id>    span tree of one request (queue wait + kernel
+//                       run) recovered from the flight-recorder ring;
+//                       404 not_found once the ring has overwritten it
+//   GET  /debug/flight  live flight-recorder dump (ookami-flight-1)
+//   POST /config        {"batch": B} and/or {"slo": {"kernel": K,
+//                       "target_ms": T, "objective": O}} — runtime
+//                       batching limit and per-kernel SLO targets
+//
+// Degradation triggers: when admission-queue depth crosses 90% of
+// capacity or any kernel's 1-minute SLO burn rate crosses
+// `slo_breach_burn`, the server automatically takes a flight-recorder
+// dump (rate-limited to one per 5 s) — to a file when
+// `flight_dump_path` is set, and always counted + marked in the ring.
 //
 // Shutdown: drain() (or SIGTERM in ookamid) stops accepting, fails new
 // admissions with `draining`, finishes everything already queued,
@@ -48,6 +63,7 @@
 #include "ookami/metrics/registry.hpp"
 #include "ookami/serve/catalog.hpp"
 #include "ookami/serve/queue.hpp"
+#include "ookami/serve/slo.hpp"
 
 namespace ookami::serve {
 
@@ -58,8 +74,16 @@ struct ServerOptions {
   std::size_t max_batch = 16;    ///< coalescing limit (OOKAMI_SERVE_BATCH)
   unsigned threads = 0;          ///< pool size, 0 = hardware concurrency
 
+  // SLO / flight-recorder knobs.
+  double slo_target_ms = 50.0;      ///< default latency target (OOKAMI_SERVE_SLO_MS)
+  double slo_objective = 0.99;      ///< default good-fraction objective
+  double slo_breach_burn = 14.4;    ///< 1m burn rate that triggers a flight dump
+  double queue_trigger_frac = 0.9;  ///< queue depth/capacity that triggers a dump
+  std::string flight_dump_path;     ///< auto-dump file (OOKAMI_SERVE_FLIGHT_DUMP)
+
   /// Defaults overlaid with OOKAMI_SERVE_PORT / OOKAMI_SERVE_QUEUE_DEPTH /
-  /// OOKAMI_SERVE_BATCH / OOKAMI_SERVE_THREADS.
+  /// OOKAMI_SERVE_BATCH / OOKAMI_SERVE_THREADS / OOKAMI_SERVE_SLO_MS /
+  /// OOKAMI_SERVE_FLIGHT_DUMP.
   static ServerOptions from_env();
 };
 
@@ -91,6 +115,13 @@ class Server {
   [[nodiscard]] std::size_t max_batch() const {
     return max_batch_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] SloTracker& slo() { return slo_; }
+
+  /// Take a flight-recorder dump now: serialize the ring + metrics
+  /// snapshot, bump serve/flight_dumps_total, and (when
+  /// flight_dump_path is set) write the file.  Returns the JSON.
+  /// `reason` must be a string literal (it is marked into the ring).
+  std::string dump_flight(const char* reason);
 
  private:
   struct Connection {
@@ -104,8 +135,14 @@ class Server {
   void executor_loop();
   void handle_request(int fd, const struct HttpRequest& req);
   void handle_run(int fd, const std::string& body);
+  void handle_healthz(int fd);
+  void handle_trace(int fd, const std::string& target);
+  void handle_config(int fd, const std::string& body);
   void process_batch(const std::vector<std::shared_ptr<Pending>>& batch);
   void reap_connections(bool join_all);
+  [[nodiscard]] std::uint64_t new_trace_id();
+  /// Rate-limited (one per 5 s) automatic dump; `reason` is a literal.
+  void maybe_dump_flight(const char* reason);
 
   ServerOptions opts_;
   std::uint16_t port_ = 0;
@@ -115,11 +152,15 @@ class Server {
   AdmissionQueue queue_;
   Catalog const* catalog_;
   metrics::Registry registry_;
+  SloTracker slo_;
 
   std::atomic<std::size_t> max_batch_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> last_dump_ns_{0};
+  std::uint64_t start_ns_ = 0;
 
   std::thread accept_thread_;
   std::thread executor_thread_;
@@ -134,5 +175,12 @@ class Server {
 void install_stop_signal_handlers();
 [[nodiscard]] bool stop_requested();
 void reset_stop_flag();  ///< tests only
+
+/// Same pattern for SIGQUIT: the handler only sets a flag; ookamid's
+/// main loop polls dump_requested() and takes a flight-recorder dump
+/// without shutting down (kill -QUIT = "show me what you're doing").
+void install_dump_signal_handler();
+[[nodiscard]] bool dump_requested();
+void reset_dump_flag();
 
 }  // namespace ookami::serve

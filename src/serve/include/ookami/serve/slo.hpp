@@ -1,0 +1,95 @@
+#pragma once
+// Per-kernel latency SLO tracking with multi-window burn rates.
+//
+// An SLO here is "fraction `objective` of requests finish within
+// `target_s`" (e.g. 99% under 50 ms).  Each kernel accumulates
+// good/total counters plus a ring of per-second buckets, from which
+// three sliding-window error rates are derived (1 m / 5 m / 30 m) and
+// normalized into *burn rates*: error_rate / (1 - objective).  A burn
+// rate of 1.0 means the error budget is being consumed exactly as fast
+// as the objective allows; the SRE-conventional fast-burn alarm fires
+// around 14.4 (budget gone in ~2 days at a 30-day window — here it is
+// the flight-recorder dump trigger).
+//
+// Targets are configurable per kernel at runtime (POST /config); the
+// kernel name "*" sets the default applied to kernels without an
+// explicit target.  All methods are mutex-guarded — this sits on the
+// per-request completion path, far from the parallel_for hot loop.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ookami::metrics {
+class Registry;
+}
+
+namespace ookami::serve {
+
+struct SloTarget {
+  double target_s = 0.050;   ///< latency threshold for a "good" request
+  double objective = 0.99;   ///< fraction of requests that must be good
+};
+
+/// Error-budget burn rates over three sliding windows.
+struct BurnRates {
+  double w1m = 0.0;
+  double w5m = 0.0;
+  double w30m = 0.0;
+  std::uint64_t good = 0;    ///< lifetime good requests (all kernels queried)
+  std::uint64_t total = 0;   ///< lifetime total requests
+};
+
+class SloTracker {
+ public:
+  /// `now_ns` is injectable so tests can force window roll-over without
+  /// sleeping 30 minutes.
+  void observe(const std::string& kernel, double latency_s, std::uint64_t now_ns);
+
+  /// Set the target for one kernel ("*" = default for all kernels
+  /// without an explicit entry).
+  void set_target(const std::string& kernel, SloTarget target);
+  [[nodiscard]] SloTarget target_for(const std::string& kernel) const;
+
+  /// Burn rates for one kernel, windows ending at `now_ns`.
+  [[nodiscard]] BurnRates burn(const std::string& kernel, std::uint64_t now_ns) const;
+  /// Max burn rate across every kernel that has observations (the
+  /// degradation-trigger scalar); zero when idle.
+  [[nodiscard]] double max_burn_1m(std::uint64_t now_ns) const;
+
+  [[nodiscard]] std::vector<std::string> kernels() const;
+
+  /// Refresh the registry's SLO gauges/counters for every tracked
+  /// kernel: serve/slo/<kernel>/{burn_1m,burn_5m,burn_30m,target_ms}
+  /// gauges and serve/slo/<kernel>/{good,total} counters are brought up
+  /// to the tracker's current values.
+  void export_to(metrics::Registry& registry, std::uint64_t now_ns) const;
+
+ private:
+  // One second of history: how many requests finished, how many were
+  // within target.  kWindow seconds cover the longest (30 m) window.
+  static constexpr std::size_t kWindow = 1800;
+  struct Second {
+    std::uint64_t epoch_s = 0;  ///< absolute second this slot holds
+    std::uint64_t good = 0;
+    std::uint64_t total = 0;
+  };
+  struct PerKernel {
+    std::vector<Second> ring;   ///< kWindow slots indexed by epoch_s % kWindow
+    std::uint64_t good = 0;     ///< lifetime
+    std::uint64_t total = 0;
+  };
+
+  [[nodiscard]] BurnRates burn_locked(const PerKernel& pk, const SloTarget& t,
+                                      std::uint64_t now_ns) const;
+  [[nodiscard]] SloTarget target_locked(const std::string& kernel) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, PerKernel> kernels_;
+  std::map<std::string, SloTarget> targets_;  ///< "*" = default
+};
+
+}  // namespace ookami::serve

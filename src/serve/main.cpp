@@ -1,14 +1,17 @@
 // ookamid — kernel-serving daemon.
 //
 //   ookamid [--port P] [--queue-depth D] [--batch B] [--threads T]
-//           [--metrics-out FILE]
+//           [--metrics-out FILE] [--flight-dump FILE] [--slo-ms MS]
 //
 // Flags override the OOKAMI_SERVE_* environment; defaults are port
 // 34127, depth 64, batch 16.  `--port 0` binds an ephemeral port; the
 // daemon always prints "ookamid: listening on HOST:PORT" so scripts can
 // discover it.  SIGTERM/SIGINT drain: stop accepting, finish the
 // queue, answer in-flight clients, optionally flush the metrics
-// registry to --metrics-out, then exit 0.
+// registry to --metrics-out, then exit 0.  SIGQUIT takes a
+// flight-recorder dump (to --flight-dump when set, else stdout)
+// without shutting down; SLO breaches and queue saturation dump to the
+// same file automatically.
 
 #include <chrono>
 #include <cstdio>
@@ -25,10 +28,12 @@ int main(int argc, char** argv) {
   if (cli.has("help")) {
     std::printf(
         "usage: ookamid [--port P] [--queue-depth D] [--batch B] [--threads T]\n"
-        "               [--metrics-out FILE]\n"
+        "               [--metrics-out FILE] [--flight-dump FILE] [--slo-ms MS]\n"
         "Kernel-serving daemon: POST /run, GET /metrics, GET /kernels,\n"
-        "GET /healthz, POST /config.  Env: OOKAMI_SERVE_PORT,\n"
-        "OOKAMI_SERVE_QUEUE_DEPTH, OOKAMI_SERVE_BATCH, OOKAMI_SERVE_THREADS.\n");
+        "GET /healthz, GET /trace/<id>, GET /debug/flight, POST /config.\n"
+        "SIGQUIT dumps the flight recorder without shutting down.\n"
+        "Env: OOKAMI_SERVE_PORT, OOKAMI_SERVE_QUEUE_DEPTH, OOKAMI_SERVE_BATCH,\n"
+        "OOKAMI_SERVE_THREADS, OOKAMI_SERVE_SLO_MS, OOKAMI_SERVE_FLIGHT_DUMP.\n");
     return 0;
   }
 
@@ -39,9 +44,13 @@ int main(int argc, char** argv) {
   opts.max_batch =
       static_cast<std::size_t>(cli.get_int("batch", static_cast<long>(opts.max_batch)));
   opts.threads = static_cast<unsigned>(cli.get_int("threads", opts.threads));
+  opts.flight_dump_path = cli.get("flight-dump", opts.flight_dump_path);
+  const double slo_ms = cli.get_double("slo-ms", opts.slo_target_ms);
+  if (slo_ms > 0.0) opts.slo_target_ms = slo_ms;
   const std::string metrics_out = cli.get("metrics-out", "");
 
   serve::install_stop_signal_handlers();
+  serve::install_dump_signal_handler();
 
   serve::Server server(opts);
   try {
@@ -57,6 +66,17 @@ int main(int argc, char** argv) {
 
   while (!serve::stop_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (serve::dump_requested()) {
+      serve::reset_dump_flag();
+      const std::string dump = server.dump_flight("sigquit");
+      if (opts.flight_dump_path.empty()) {
+        std::fwrite(dump.data(), 1, dump.size(), stdout);
+        std::printf("\n");
+      } else {
+        std::printf("ookamid: flight dump written to %s\n", opts.flight_dump_path.c_str());
+      }
+      std::fflush(stdout);
+    }
   }
   std::printf("ookamid: stop requested, draining\n");
   std::fflush(stdout);

@@ -14,6 +14,7 @@ const char* error_name(ErrorCode code) {
     case ErrorCode::kNone: return "ok";
     case ErrorCode::kBadRequest: return "bad_request";
     case ErrorCode::kUnknownKernel: return "unknown_kernel";
+    case ErrorCode::kNotFound: return "not_found";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kInternal: return "internal";
@@ -26,6 +27,7 @@ int http_status(ErrorCode code) {
     case ErrorCode::kNone: return 200;
     case ErrorCode::kBadRequest: return 400;
     case ErrorCode::kUnknownKernel: return 404;
+    case ErrorCode::kNotFound: return 404;
     case ErrorCode::kOverloaded: return 429;
     case ErrorCode::kDraining: return 503;
     case ErrorCode::kInternal: return 500;
@@ -85,6 +87,7 @@ std::string ok_body(const Response& r) {
   doc.set("seed", static_cast<unsigned long long>(r.seed));
   doc.set("backend", r.backend);
   doc.set("digest", r.digest);
+  if (!r.trace.empty()) doc.set("trace", r.trace);
   doc.set("batch", static_cast<unsigned long long>(r.batch));
   doc.set("queue_us", r.queue_us);
   doc.set("run_us", r.run_us);

@@ -1,0 +1,133 @@
+#include "ookami/serve/slo.hpp"
+
+#include <algorithm>
+
+#include "ookami/metrics/registry.hpp"
+
+namespace ookami::serve {
+
+namespace {
+constexpr std::uint64_t kNsPerS = 1'000'000'000ull;
+}  // namespace
+
+void SloTracker::observe(const std::string& kernel, double latency_s, std::uint64_t now_ns) {
+  std::lock_guard lk(mu_);
+  const SloTarget t = target_locked(kernel);
+  const bool good = latency_s <= t.target_s;
+  PerKernel& pk = kernels_[kernel];
+  if (pk.ring.empty()) pk.ring.assign(kWindow, Second{});
+  const std::uint64_t epoch_s = now_ns / kNsPerS;
+  Second& slot = pk.ring[epoch_s % kWindow];
+  if (slot.epoch_s != epoch_s) {
+    // The slot last held a second at least kWindow back; recycle it.
+    slot = Second{epoch_s, 0, 0};
+  }
+  ++slot.total;
+  if (good) ++slot.good;
+  ++pk.total;
+  if (good) ++pk.good;
+}
+
+void SloTracker::set_target(const std::string& kernel, SloTarget target) {
+  std::lock_guard lk(mu_);
+  targets_[kernel] = target;
+}
+
+SloTarget SloTracker::target_for(const std::string& kernel) const {
+  std::lock_guard lk(mu_);
+  return target_locked(kernel);
+}
+
+SloTarget SloTracker::target_locked(const std::string& kernel) const {
+  auto it = targets_.find(kernel);
+  if (it != targets_.end()) return it->second;
+  it = targets_.find("*");
+  if (it != targets_.end()) return it->second;
+  return SloTarget{};
+}
+
+BurnRates SloTracker::burn_locked(const PerKernel& pk, const SloTarget& t,
+                                  std::uint64_t now_ns) const {
+  BurnRates out;
+  out.good = pk.good;
+  out.total = pk.total;
+  if (pk.ring.empty()) return out;
+  const std::uint64_t now_s = now_ns / kNsPerS;
+  const double budget = std::max(1e-9, 1.0 - t.objective);
+  const std::uint64_t windows[3] = {60, 300, 1800};
+  double* rates[3] = {&out.w1m, &out.w5m, &out.w30m};
+  for (int w = 0; w < 3; ++w) {
+    std::uint64_t good = 0, total = 0;
+    const std::uint64_t span = std::min<std::uint64_t>(windows[w], kWindow);
+    for (std::uint64_t back = 0; back < span && back <= now_s; ++back) {
+      const std::uint64_t s = now_s - back;
+      const Second& slot = pk.ring[s % kWindow];
+      if (slot.epoch_s != s) continue;  // stale or never written
+      good += slot.good;
+      total += slot.total;
+    }
+    if (total == 0) continue;
+    const double err = static_cast<double>(total - good) / static_cast<double>(total);
+    *rates[w] = err / budget;
+  }
+  return out;
+}
+
+BurnRates SloTracker::burn(const std::string& kernel, std::uint64_t now_ns) const {
+  std::lock_guard lk(mu_);
+  const auto it = kernels_.find(kernel);
+  if (it == kernels_.end()) return BurnRates{};
+  return burn_locked(it->second, target_locked(kernel), now_ns);
+}
+
+double SloTracker::max_burn_1m(std::uint64_t now_ns) const {
+  std::lock_guard lk(mu_);
+  double worst = 0.0;
+  for (const auto& [name, pk] : kernels_) {
+    worst = std::max(worst, burn_locked(pk, target_locked(name), now_ns).w1m);
+  }
+  return worst;
+}
+
+std::vector<std::string> SloTracker::kernels() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const auto& [name, pk] : kernels_) out.push_back(name);
+  return out;
+}
+
+void SloTracker::export_to(metrics::Registry& registry, std::uint64_t now_ns) const {
+  struct Row {
+    std::string kernel;
+    BurnRates b;
+    SloTarget t;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard lk(mu_);
+    rows.reserve(kernels_.size());
+    for (const auto& [name, pk] : kernels_) {
+      const SloTarget t = target_locked(name);
+      rows.push_back({name, burn_locked(pk, t, now_ns), t});
+    }
+  }
+  // Registry calls outside mu_: the registry has its own lock and a
+  // /metrics scrape must never contend with the observe() path.
+  for (const Row& r : rows) {
+    const std::string base = "serve/slo/" + r.kernel;
+    registry.gauge(base + "/burn_1m").set(r.b.w1m);
+    registry.gauge(base + "/burn_5m").set(r.b.w5m);
+    registry.gauge(base + "/burn_30m").set(r.b.w30m);
+    registry.gauge(base + "/target_ms").set(r.t.target_s * 1e3);
+    registry.gauge(base + "/objective").set(r.t.objective);
+    // Counters are monotonic; top them up to the tracker's lifetime
+    // totals rather than double-counting.
+    metrics::Counter& good = registry.counter(base + "/good");
+    metrics::Counter& total = registry.counter(base + "/total");
+    if (r.b.good > good.value()) good.add(r.b.good - good.value());
+    if (r.b.total > total.value()) total.add(r.b.total - total.value());
+  }
+}
+
+}  // namespace ookami::serve

@@ -24,6 +24,12 @@ struct Accum {
   std::set<std::uint32_t> tids;
 };
 
+struct SpanAccum {
+  SpanStats stats;
+  std::set<std::uint32_t> tids;
+  std::set<std::uint64_t> reqs;
+};
+
 }  // namespace
 
 Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
@@ -40,11 +46,31 @@ Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
   // arbitrary test input equally valid).
   std::vector<const Event*> order;
   order.reserve(events.size());
+  std::map<std::string, SpanAccum> span_by_name;
   std::uint64_t t0 = events.front().start_ns, t1 = events.front().end_ns;
   for (const Event& e : events) {
-    order.push_back(&e);
     t0 = std::min(t0, e.start_ns);
     t1 = std::max(t1, e.end_ns);
+    if (e.injected) {
+      // Injected spans are not part of any thread's nesting: aggregate
+      // them on the side, keep them out of the exclusive-time replay.
+      SpanAccum& acc = span_by_name[e.name];
+      SpanStats& s = acc.stats;
+      const double dur = e.seconds();
+      if (s.count == 0) {
+        s.name = e.name;
+        s.min_s = dur;
+        s.max_s = dur;
+      }
+      ++s.count;
+      s.total_s += dur;
+      s.min_s = std::min(s.min_s, dur);
+      s.max_s = std::max(s.max_s, dur);
+      acc.tids.insert(e.tid);
+      if (e.req != 0) acc.reqs.insert(e.req);
+      continue;
+    }
+    order.push_back(&e);
   }
   std::stable_sort(order.begin(), order.end(), [](const Event* a, const Event* b) {
     if (a->tid != b->tid) return a->tid < b->tid;
@@ -52,6 +78,18 @@ Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
     return a->depth > b->depth;
   });
   report.wall_s = static_cast<double>(t1 - t0) * 1e-9;
+
+  report.spans.reserve(span_by_name.size());
+  for (auto& [name, acc] : span_by_name) {
+    acc.stats.threads = static_cast<unsigned>(acc.tids.size());
+    acc.stats.requests = static_cast<std::uint64_t>(acc.reqs.size());
+    report.spans.push_back(std::move(acc.stats));
+  }
+  std::sort(report.spans.begin(), report.spans.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              return a.total_s != b.total_s ? a.total_s > b.total_s : a.name < b.name;
+            });
+  if (order.empty()) return report;
 
   std::map<std::string, Accum> by_name;
   // child_time[d]: inclusive time of already-completed scopes at depth d
@@ -170,6 +208,29 @@ std::string render(const Report& report, std::size_t top_n) {
     std::snprintf(line, sizeof line, "... %zu more region(s) below the top %zu\n",
                   report.regions.size() - rows, rows);
     out += line;
+  }
+
+  if (!report.spans.empty()) {
+    std::size_t span_w = 4;
+    for (const SpanStats& s : report.spans) span_w = std::max(span_w, s.name.size());
+    out += '\n';
+    std::snprintf(line, sizeof line,
+                  "injected spans (record_span, grouped across threads):\n");
+    out += line;
+    std::snprintf(line, sizeof line, "%-*s %8s %12s %12s %12s %9s %8s\n",
+                  static_cast<int>(span_w), "span", "count", "total(s)", "min(s)", "max(s)",
+                  "requests", "thr");
+    out += line;
+    out.append(span_w + 68, '-');
+    out += '\n';
+    for (const SpanStats& s : report.spans) {
+      std::snprintf(line, sizeof line, "%-*s %8llu %12s %12s %12s %9llu %8u\n",
+                    static_cast<int>(span_w), s.name.c_str(),
+                    static_cast<unsigned long long>(s.count), fmt("%.6f", s.total_s).c_str(),
+                    fmt("%.6f", s.min_s).c_str(), fmt("%.6f", s.max_s).c_str(),
+                    static_cast<unsigned long long>(s.requests), s.threads);
+      out += line;
+    }
   }
   return out;
 }

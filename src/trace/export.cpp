@@ -63,6 +63,18 @@ std::string to_chrome_json(const std::vector<Event>& events) {
       out += ",\"flops\":";
       append_number(out, e.flops);
     }
+    if (e.injected) {
+      // Injected spans (record_span) carry the marker and, when tagged,
+      // the request/trace id — as a hex *string*, because a 64-bit id
+      // does not survive a round-trip through a JSON double.
+      out += ",\"span\":1";
+      if (e.req != 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, ",\"req\":\"%016llx\"",
+                      static_cast<unsigned long long>(e.req));
+        out += buf;
+      }
+    }
     out += "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";

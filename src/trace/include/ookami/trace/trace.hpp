@@ -54,6 +54,8 @@ struct Event {
   std::int32_t depth = 0;      ///< nesting level on its thread (0 = outermost)
   double bytes = 0.0;          ///< annotated memory traffic, 0 = unannotated
   double flops = 0.0;          ///< annotated FP work, 0 = unannotated
+  std::uint64_t req = 0;       ///< request/trace id (record_span only), 0 = none
+  bool injected = false;       ///< recorded via record_span, not an RAII scope
 
   [[nodiscard]] double seconds() const {
     return static_cast<double>(end_ns - start_ns) * 1e-9;
@@ -118,12 +120,15 @@ struct ScopeHooks {
 /// start on one thread and end on another — e.g. ookamid's
 /// "serve/queue" span opens when the connection thread admits a request
 /// and closes when the executor dequeues it.  The event lands in the
-/// *calling* thread's buffer at the thread's current nesting depth;
-/// `name` must be an interned literal like any scope name.  No-op while
-/// tracing is disabled; scope hooks do not fire (there is no enclosed
-/// execution to sample).
+/// *calling* thread's buffer at the thread's current nesting depth with
+/// `injected` set, so aggregation reports it as a span group instead of
+/// folding it into the RAII nesting replay; `req` (optional) tags the
+/// span with a request/trace id so every span of one served request can
+/// be grouped across threads.  `name` must be an interned literal like
+/// any scope name.  No-op while tracing is disabled; scope hooks do not
+/// fire (there is no enclosed execution to sample).
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-                 double bytes = 0.0, double flops = 0.0);
+                 double bytes = 0.0, double flops = 0.0, std::uint64_t req = 0);
 
 /// Install (or, with nullptr, remove) the scope hooks.  The pointed-to
 /// struct must stay valid until replaced; install/remove from a

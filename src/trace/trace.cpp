@@ -118,7 +118,7 @@ void set_scope_hooks(const ScopeHooks* hooks) {
 }
 
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-                 double bytes, double flops) {
+                 double bytes, double flops, std::uint64_t req) {
   if (!enabled()) return;
   ThreadBuffer& buf = local_buffer();
   const std::size_t cap = registry().capacity.load(std::memory_order_relaxed);
@@ -126,7 +126,8 @@ void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
     ++buf.dropped;
     return;
   }
-  buf.events.push_back(Event{name, start_ns, end_ns, buf.tid, t_depth, bytes, flops});
+  buf.events.push_back(
+      Event{name, start_ns, end_ns, buf.tid, t_depth, bytes, flops, req, /*injected=*/true});
 }
 
 void Scope::begin(const char* name, double bytes, double flops) {

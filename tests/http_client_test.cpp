@@ -1,0 +1,203 @@
+// Failure-mode tests for the serve HTTP client: bounded connect retry
+// against a dead port, hard failure on a mid-response close, patience
+// with a server that dribbles the header a few bytes at a time, and
+// keep-alive reuse across requests.  Each test scripts one end of the
+// socket directly, so the behaviors are deterministic rather than
+// scheduling-dependent.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "ookami/serve/http.hpp"
+
+namespace ookami::serve {
+namespace {
+
+/// One-connection scripted server: listens on an ephemeral loopback
+/// port, accepts a single client, and hands the connected fd to the
+/// script.  The script owns the conversation; the fd closes after it.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::function<void(int fd)> script) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("ScriptedServer: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd_, 1) != 0) {
+      throw std::runtime_error("ScriptedServer: bind/listen failed");
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, script = std::move(script)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        script(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  ~ScriptedServer() {
+    if (thread_.joinable()) thread_.join();
+    ::close(listen_fd_);
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Read until the request's blank line so the scripted side never
+/// races ahead of the client's send.
+void drain_request(int fd) {
+  std::string buf;
+  char chunk[1024];
+  while (buf.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void send_raw(int fd, const std::string& data) {
+  (void)::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+}
+
+/// An ephemeral port with nothing listening: bind, record, close.
+std::uint16_t dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(HttpClient, ConnectionRefusedFailsFastAfterBoundedRetries) {
+  // 3 attempts x 20 ms backoff: the throw must arrive well under the
+  // default ~1 s budget, and the message must carry host:port.
+  HttpClient client("127.0.0.1", dead_port(), /*connect_attempts=*/3);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    client.get("/healthz");
+    FAIL() << "expected connection failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot connect"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("127.0.0.1"), std::string::npos);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 800);
+}
+
+TEST(HttpClient, ConnectAttemptsClampToAtLeastOne) {
+  // A nonsense attempt count still makes exactly one try (and fails).
+  HttpClient client("127.0.0.1", dead_port(), /*connect_attempts=*/-5);
+  EXPECT_THROW(client.get("/"), std::runtime_error);
+}
+
+TEST(HttpClient, BadHostIsATypedErrorNotARetryLoop) {
+  HttpClient client("not-an-ipv4-literal", 80, /*connect_attempts=*/1);
+  try {
+    client.get("/");
+    FAIL() << "expected bad-host failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad IPv4 host"), std::string::npos);
+  }
+}
+
+TEST(HttpClient, MidResponseCloseThrowsInsteadOfTruncating) {
+  // The server promises 100 bytes, delivers 5, and hangs up.  A client
+  // that returned the truncated body would silently corrupt results;
+  // ours must throw.
+  ScriptedServer server([](int fd) {
+    drain_request(fd);
+    send_raw(fd, "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort");
+  });
+  HttpClient client("127.0.0.1", server.port());
+  try {
+    client.get("/run");
+    FAIL() << "expected mid-response failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("mid-response"), std::string::npos);
+  }
+}
+
+TEST(HttpClient, HeaderClosedBeforeBlankLineThrows) {
+  ScriptedServer server([](int fd) {
+    drain_request(fd);
+    send_raw(fd, "HTTP/1.1 200 OK\r\nContent-Le");  // cut inside the header
+  });
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_THROW(client.get("/"), std::runtime_error);
+}
+
+TEST(HttpClient, SlowHeaderDribbleStillAssembles) {
+  // The response arrives a few bytes at a time across ~20 recv()s;
+  // the reader must keep filling until the header block and the full
+  // Content-Length body are in.
+  const std::string response =
+      "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+      "Content-Length: 17\r\n\r\n{\"status\": \"ok\"}\n";
+  ScriptedServer server([&response](int fd) {
+    drain_request(fd);
+    for (std::size_t off = 0; off < response.size(); off += 5) {
+      send_raw(fd, response.substr(off, 5));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  HttpClient client("127.0.0.1", server.port());
+  const HttpClient::Result r = client.get("/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "{\"status\": \"ok\"}\n");
+}
+
+TEST(HttpClient, OversizedContentLengthIsRejected) {
+  // 2 MiB claimed body exceeds the reader's 1 MiB cap: fail the
+  // roundtrip rather than buffering unbounded attacker-chosen bytes.
+  ScriptedServer server([](int fd) {
+    drain_request(fd);
+    send_raw(fd, "HTTP/1.1 200 OK\r\nContent-Length: 2097152\r\n\r\n");
+  });
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_THROW(client.get("/"), std::runtime_error);
+}
+
+TEST(HttpClient, KeepAliveReusesOneConnectionForSequentialRequests) {
+  // Two requests, one accept: if the client reconnected per request
+  // the second would hit the (single-accept) script's closed listener.
+  ScriptedServer server([](int fd) {
+    for (int i = 0; i < 2; ++i) {
+      drain_request(fd);
+      const std::string body = i == 0 ? "first" : "second";
+      send_raw(fd, "HTTP/1.1 200 OK\r\nContent-Length: " + std::to_string(body.size()) +
+                       "\r\n\r\n" + body);
+    }
+  });
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/a").body, "first");
+  EXPECT_EQ(client.post("/b", "{}").body, "second");
+}
+
+}  // namespace
+}  // namespace ookami::serve

@@ -359,6 +359,79 @@ TEST(Registry, PrometheusExpositionFormat) {
   EXPECT_NE(text.find("} 2\n"), std::string::npos);
 }
 
+TEST(Histogram, ExemplarsPinLastSampleWithTraceIdPerBucket) {
+  Histogram h(small_opts());
+  h.observe(0.002);  // plain observe: no exemplar storage at all
+  EXPECT_TRUE(h.exemplars().empty());
+
+  h.observe(0.004, 0xdeadbeefull);
+  auto ex = h.exemplars();
+  ASSERT_EQ(ex.size(), small_opts().max_buckets);
+  const std::size_t b = h.bucket_index(0.004);
+  EXPECT_EQ(ex[b].trace_id, 0xdeadbeefull);
+  EXPECT_DOUBLE_EQ(ex[b].value, 0.004);
+  EXPECT_GT(ex[b].timestamp_s, 0.0);
+
+  // Last write wins within the bucket (0.0039 shares 0.004's bucket).
+  h.observe(0.0039, 0x1111ull);
+  ex = h.exemplars();
+  EXPECT_EQ(ex[b].trace_id, 0x1111ull);
+  EXPECT_DOUBLE_EQ(ex[b].value, 0.0039);
+
+  // id 0 degrades to a plain observe: count moves, exemplar stays.
+  h.observe(0.0038, 0);
+  ex = h.exemplars();
+  EXPECT_EQ(ex[b].trace_id, 0x1111ull);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, MergeKeepsNewestExemplarPerBucket) {
+  Histogram a(small_opts());
+  Histogram b(small_opts());
+  a.observe(0.002, 0xaaaull);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  b.observe(0.002, 0xbbbull);  // newer timestamp, same bucket
+  b.observe(5.0, 0xcccull);    // a bucket `a` never touched
+
+  a.merge(b);
+  const auto ex = a.exemplars();
+  const std::size_t shared = a.bucket_index(0.002);
+  EXPECT_EQ(ex[shared].trace_id, 0xbbbull);
+  EXPECT_EQ(ex[a.bucket_index(5.0)].trace_id, 0xcccull);
+  // Copy snapshots carry exemplars too.
+  const Histogram snap(a);
+  EXPECT_EQ(snap.exemplars()[shared].trace_id, 0xbbbull);
+}
+
+TEST(Registry, PrometheusBucketsCarryOpenMetricsExemplars) {
+  Registry reg;
+  Histogram& h = reg.histogram("latency/spmv", small_opts());
+  h.observe(0.002, 0x00ab00cd00ef0011ull);
+  h.observe(100.0);  // occupied bucket without an exemplar: plain line
+
+  const std::string text = reg.to_prometheus("ookami");
+  EXPECT_NE(text.find("# {trace_id=\"00ab00cd00ef0011\"} 0.002"), std::string::npos);
+  // The +Inf line has no exemplar suffix.
+  const std::size_t inf = text.find("_bucket{le=\"+Inf\"}");
+  ASSERT_NE(inf, std::string::npos);
+  const std::size_t eol = text.find('\n', inf);
+  EXPECT_EQ(text.substr(inf, eol - inf).find("trace_id"), std::string::npos);
+}
+
+TEST(Registry, CounterAndGaugeSnapshotsKeepRawNames) {
+  Registry reg;
+  reg.counter("serve/requests_total").add(3);
+  reg.gauge("serve/queue_depth").set(2.0);
+  const auto counters = reg.counter_values();
+  const auto gauges = reg.gauge_values();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "serve/requests_total");
+  EXPECT_EQ(counters[0].second, 3u);
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].first, "serve/queue_depth");
+  EXPECT_DOUBLE_EQ(gauges[0].second, 2.0);
+}
+
 TEST(Registry, PrometheusNameSanitization) {
   EXPECT_EQ(prometheus_name("latency/cg.spmv-1"), "latency_cg_spmv_1");
   EXPECT_EQ(prometheus_name("ok_name09"), "ok_name09");

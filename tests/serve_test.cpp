@@ -6,14 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -212,12 +217,14 @@ TEST(Protocol, ErrorTaxonomyMapsToHttpStatus) {
   EXPECT_EQ(http_status(ErrorCode::kNone), 200);
   EXPECT_EQ(http_status(ErrorCode::kBadRequest), 400);
   EXPECT_EQ(http_status(ErrorCode::kUnknownKernel), 404);
+  EXPECT_EQ(http_status(ErrorCode::kNotFound), 404);
   EXPECT_EQ(http_status(ErrorCode::kOverloaded), 429);
   EXPECT_EQ(http_status(ErrorCode::kDraining), 503);
   EXPECT_EQ(http_status(ErrorCode::kInternal), 500);
   const std::string body = error_body(ErrorCode::kOverloaded, "queue full");
   EXPECT_NE(body.find("\"overloaded\""), std::string::npos);
   EXPECT_NE(body.find("queue full"), std::string::npos);
+  EXPECT_NE(error_body(ErrorCode::kNotFound, "x").find("\"not_found\""), std::string::npos);
   EXPECT_EQ(digest_hex(0xdeadbeefull).size(), 16u);
   EXPECT_EQ(digest_hex(0xdeadbeefull), "00000000deadbeef");
 }
@@ -512,6 +519,190 @@ TEST(Server, HammerManyClientsMixedRequests) {
   EXPECT_EQ(ok + typed_errors, kClients * kPerClient);
   server.drain();
   EXPECT_EQ(static_cast<int>(server.requests_served()), ok.load());
+}
+
+// ------------------------------------------ tracing / flight / SLO
+
+TEST(Server, HealthzReportsBuildPoolAndServeState) {
+  Server server(test_options(/*queue_depth=*/16, /*max_batch=*/4, /*threads=*/2));
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+
+  const HttpClient::Result r = client.get("/healthz");
+  ASSERT_EQ(r.status, 200);
+  const json::Value doc = json::Value::parse(r.body);
+  EXPECT_EQ(doc.string_or("status", ""), "ok");
+  EXPECT_GE(doc.number_or("uptime_s", -1.0), 0.0);
+  ASSERT_NE(doc.find("build"), nullptr);
+  EXPECT_FALSE(doc.find("build")->string_or("compiler", "").empty());
+  ASSERT_NE(doc.find("pool"), nullptr);
+  EXPECT_EQ(doc.find("pool")->number_or("threads", 0.0), 2.0);
+  EXPECT_FALSE(doc.find("pool")->string_or("barrier", "").empty());
+  ASSERT_NE(doc.find("serve"), nullptr);
+  const json::Value& serve = *doc.find("serve");
+  EXPECT_EQ(serve.number_or("queue_capacity", 0.0), 16.0);
+  EXPECT_EQ(serve.number_or("batch", 0.0), 4.0);
+  ASSERT_NE(serve.find("slo"), nullptr);
+  EXPECT_GT(serve.find("slo")->number_or("target_ms", 0.0), 0.0);
+  server.drain();
+}
+
+TEST(Server, RunResponseCarriesRetrievableTraceId) {
+  Server server(test_options());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+
+  const RunReply r = run_request(client, "vecmath.exp", 2048, 11);
+  ASSERT_EQ(r.status, 200);
+  const std::string trace = r.doc.string_or("trace", "");
+  ASSERT_EQ(trace.size(), 16u);
+
+  // The span tree is retrievable by that id: queue + kernel spans and
+  // the terminal request event, with non-negative offsets.
+  const HttpClient::Result t = client.get("/trace/" + trace);
+  ASSERT_EQ(t.status, 200);
+  const json::Value doc = json::Value::parse(t.body);
+  EXPECT_EQ(doc.string_or("schema", ""), "ookami-trace-request-1");
+  EXPECT_EQ(doc.string_or("trace", ""), trace);
+  ASSERT_NE(doc.find("spans"), nullptr);
+  bool saw_queue = false;
+  bool saw_kernel = false;
+  bool saw_done = false;
+  for (const json::Value& s : doc.find("spans")->items()) {
+    const std::string name = s.string_or("name", "");
+    if (name == "serve/queue") saw_queue = true;
+    if (name == "serve/kernel") saw_kernel = true;
+    if (name == "serve/done") saw_done = true;
+    EXPECT_GE(s.number_or("offset_us", -1.0), 0.0);
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_done);
+
+  // Unknown-but-well-formed ids get the typed not_found; junk gets 400.
+  const HttpClient::Result missing = client.get("/trace/0123456789abcdef");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("not_found"), std::string::npos);
+  EXPECT_EQ(client.get("/trace/not-hex").status, 400);
+  server.drain();
+}
+
+TEST(Server, MetricsExemplarsLinkBucketsToTraceIds) {
+  Server server(test_options());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  const RunReply r = run_request(client, "vecmath.sqrt", 1024, 5);
+  ASSERT_EQ(r.status, 200);
+  const std::string trace = r.doc.string_or("trace", "");
+  ASSERT_EQ(trace.size(), 16u);
+
+  // The latency histogram's occupied bucket carries this request's id
+  // as an OpenMetrics exemplar, and /metrics now exports SLO series.
+  const HttpClient::Result m = client.get("/metrics");
+  ASSERT_EQ(m.status, 200);
+  EXPECT_NE(m.body.find("# {trace_id=\"" + trace + "\"}"), std::string::npos);
+  EXPECT_NE(m.body.find("ookami_serve_slo_vecmath_sqrt_burn_1m"), std::string::npos);
+  EXPECT_NE(m.body.find("ookami_serve_slo_vecmath_sqrt_total 1"), std::string::npos);
+  server.drain();
+}
+
+TEST(Server, DebugFlightEndpointDumpsRing) {
+  Server server(test_options());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  const RunReply r = run_request(client, "vecmath.exp", 512, 2);
+  ASSERT_EQ(r.status, 200);
+  const std::string trace = r.doc.string_or("trace", "");
+
+  const HttpClient::Result f = client.get("/debug/flight");
+  ASSERT_EQ(f.status, 200);
+  const json::Value doc = json::Value::parse(f.body);
+  EXPECT_EQ(doc.string_or("schema", ""), "ookami-flight-1");
+  EXPECT_EQ(doc.string_or("reason", ""), "endpoint");
+  ASSERT_NE(doc.find("events"), nullptr);
+  bool saw_mine = false;
+  for (const json::Value& e : doc.find("events")->items()) {
+    if (e.string_or("req", "") == trace) saw_mine = true;
+  }
+  EXPECT_TRUE(saw_mine);
+  // The counter snapshot rides along (including the dump's own count).
+  ASSERT_NE(doc.find("counters"), nullptr);
+  EXPECT_GE(doc.find("counters")->number_or("serve/flight_dumps_total", 0.0), 1.0);
+  server.drain();
+}
+
+TEST(Server, ConfigSetsSloTargetsAndValidates) {
+  Server server(test_options());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+
+  // Global default and a per-kernel override, applied together with a
+  // batch change (one body, both knobs).
+  const HttpClient::Result both =
+      client.post("/config", "{\"batch\": 2, \"slo\": {\"target_ms\": 5.0}}");
+  ASSERT_EQ(both.status, 200);
+  EXPECT_EQ(server.max_batch(), 2u);
+  EXPECT_NEAR(server.slo().target_for("*").target_s, 5.0e-3, 1e-12);
+
+  const HttpClient::Result per_kernel = client.post(
+      "/config",
+      "{\"slo\": {\"kernel\": \"hpcc.dgemm\", \"target_ms\": 250.0, \"objective\": 0.999}}");
+  ASSERT_EQ(per_kernel.status, 200);
+  EXPECT_NEAR(server.slo().target_for("hpcc.dgemm").target_s, 0.250, 1e-12);
+  EXPECT_NEAR(server.slo().target_for("hpcc.dgemm").objective, 0.999, 1e-12);
+  // Kernels without an override still get the default.
+  EXPECT_NEAR(server.slo().target_for("vecmath.exp").target_s, 5.0e-3, 1e-12);
+
+  // Validation: missing/zero target, out-of-range objective.
+  EXPECT_EQ(client.post("/config", "{\"slo\": {}}").status, 400);
+  EXPECT_EQ(client.post("/config", "{\"slo\": {\"target_ms\": 0}}").status, 400);
+  EXPECT_EQ(client.post("/config", "{\"slo\": {\"target_ms\": 5, \"objective\": 1.5}}").status,
+            400);
+  // Nothing was clobbered by the rejected bodies.
+  EXPECT_NEAR(server.slo().target_for("*").target_s, 5.0e-3, 1e-12);
+  server.drain();
+}
+
+TEST(Server, SloBreachWritesFlightDumpFile) {
+  // An impossible SLO (1 ns) makes every request an error; with
+  // objective 0.99 the 1m burn rate is ~100, far past the 14.4 trigger,
+  // so the first completed batch must write the flight dump file.
+  const std::string path =
+      "/tmp/ookami_flight_breach_" + std::to_string(::getpid()) + ".json";
+  std::remove(path.c_str());
+  ServerOptions opts = test_options();
+  opts.slo_target_ms = 1e-6;
+  opts.flight_dump_path = path;
+  Server server(opts);
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  const RunReply r = run_request(client, "vecmath.exp", 4096, 3);
+  ASSERT_EQ(r.status, 200);
+  const std::string trace = r.doc.string_or("trace", "");
+
+  // The dump happens on the executor thread right after the batch
+  // completes; give it a moment to hit the filesystem.
+  std::string body;
+  for (int i = 0; i < 200 && body.empty(); ++i) {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream os;
+      os << in.rdbuf();
+      body = os.str();
+    }
+    if (body.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(body.empty()) << "no flight dump at " << path;
+  const json::Value doc = json::Value::parse(body);
+  EXPECT_EQ(doc.string_or("schema", ""), "ookami-flight-1");
+  EXPECT_EQ(doc.string_or("reason", ""), "slo_burn");
+  bool saw_mine = false;
+  for (const json::Value& e : doc.find("events")->items()) {
+    if (e.string_or("req", "") == trace) saw_mine = true;
+  }
+  EXPECT_TRUE(saw_mine);
+  server.drain();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -9,11 +9,17 @@
 #include <deque>
 #include <thread>
 
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <vector>
+
 #include "ookami/common/threadpool.hpp"
 #include "ookami/harness/json.hpp"
 #include "ookami/harness/profile.hpp"
 #include "ookami/trace/aggregate.hpp"
 #include "ookami/trace/export.hpp"
+#include "ookami/trace/flight.hpp"
 #include "ookami/trace/trace.hpp"
 
 namespace ookami::trace {
@@ -482,6 +488,172 @@ TEST_F(TraceTest, RecordSpanHonorsBufferCap) {
   record_span("c", 2, 3);  // over cap: dropped, counted
   EXPECT_EQ(collect().size(), 2u);
   EXPECT_EQ(dropped(), 1u);
+}
+
+TEST_F(TraceTest, RecordSpanCarriesRequestIdThroughChromeExport) {
+  record_span("serve/queue", 100, 200, 0.0, 0.0, 0xabcdef12u);
+  { OOKAMI_TRACE_SCOPE("anchor"); }
+  const auto events = collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].injected);
+  EXPECT_EQ(events[0].req, 0xabcdef12u);
+
+  // Round-trip: the hex "req" arg must survive the JSON double funnel.
+  const std::string chrome = to_chrome_json(events);
+  std::deque<std::string> names;
+  const auto parsed = ookami::harness::events_from_chrome(
+      ookami::harness::json::Value::parse(chrome), names);
+  ASSERT_EQ(parsed.size(), 2u);
+  bool found = false;
+  for (const auto& e : parsed) {
+    if (e.injected) {
+      EXPECT_EQ(e.req, 0xabcdef12u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, AggregateSeparatesInjectedSpansFromRegions) {
+  // Two spans overlapping a region at the same depth: grouping them
+  // into the exclusive-time replay would corrupt it, so they must land
+  // in Report::spans and leave the region untouched.
+  std::vector<Event> events;
+  events.push_back(make_event("region", 0, 1000, 1, 0));
+  Event s1 = make_event("serve/queue", 0, 600, 1, 0);
+  s1.injected = true;
+  s1.req = 7;
+  Event s2 = make_event("serve/queue", 100, 900, 2, 0);
+  s2.injected = true;
+  s2.req = 8;
+  events.push_back(s1);
+  events.push_back(s2);
+
+  const Report report = aggregate(events, test_roofline());
+  ASSERT_EQ(report.regions.size(), 1u);
+  EXPECT_EQ(report.regions[0].name, "region");
+  EXPECT_DOUBLE_EQ(report.regions[0].exclusive_s, 1000e-9);
+  ASSERT_EQ(report.spans.size(), 1u);
+  EXPECT_EQ(report.spans[0].name, "serve/queue");
+  EXPECT_EQ(report.spans[0].count, 2u);
+  EXPECT_EQ(report.spans[0].requests, 2u);
+  EXPECT_EQ(report.spans[0].threads, 2u);
+  EXPECT_DOUBLE_EQ(report.spans[0].total_s, 1400e-9);
+
+  const std::string table = render(report);
+  EXPECT_NE(table.find("injected spans"), std::string::npos);
+  EXPECT_NE(table.find("serve/queue"), std::string::npos);
+}
+
+TEST_F(TraceTest, AggregateHandlesSpanOnlyTraces) {
+  std::vector<Event> events;
+  Event s = make_event("serve/kernel", 10, 20, 1, 0);
+  s.injected = true;
+  events.push_back(s);
+  const Report report = aggregate(events, test_roofline());
+  EXPECT_TRUE(report.regions.empty());
+  ASSERT_EQ(report.spans.size(), 1u);
+  EXPECT_EQ(report.spans[0].count, 1u);
+}
+
+// ---------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, RecordsAndSnapshotsInOrder) {
+  FlightRecorder fr(64);
+  EXPECT_EQ(fr.capacity(), 64u);
+  fr.record(FlightKind::kSpan, "a", 1, 100, 200, 3.0);
+  fr.record(FlightKind::kRequest, "b", 2, 300, 300);
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_STREQ(snap[0].name, "a");
+  EXPECT_EQ(snap[0].kind, FlightKind::kSpan);
+  EXPECT_EQ(snap[0].req, 1u);
+  EXPECT_EQ(snap[0].start_ns, 100u);
+  EXPECT_EQ(snap[0].end_ns, 200u);
+  EXPECT_DOUBLE_EQ(snap[0].value, 3.0);
+  EXPECT_STREQ(snap[1].name, "b");
+  EXPECT_EQ(fr.recorded(), 2u);
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder fr(100);
+  EXPECT_EQ(fr.capacity(), 128u);
+  FlightRecorder tiny(1);
+  EXPECT_EQ(tiny.capacity(), 64u);  // floor
+}
+
+TEST(FlightRecorder, OverwritesOldestKeepsNewest) {
+  FlightRecorder fr(64);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    fr.record(FlightKind::kMark, "tick", i, i, i);
+  }
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 64u);
+  // Newest 64, oldest first: reqs 136..199.
+  EXPECT_EQ(snap.front().req, 136u);
+  EXPECT_EQ(snap.back().req, 199u);
+  EXPECT_EQ(fr.recorded(), 200u);
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  FlightRecorder fr(64);
+  fr.set_enabled(false);
+  fr.record(FlightKind::kMark, "nope", 1, 0, 0);
+  EXPECT_TRUE(fr.snapshot().empty());
+  EXPECT_EQ(fr.recorded(), 0u);
+  fr.set_enabled(true);
+  fr.record(FlightKind::kMark, "yes", 2, 0, 0);
+  EXPECT_EQ(fr.snapshot().size(), 1u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndReadersStayCoherent) {
+  // TSan target: writers hammer the ring while readers snapshot.  Every
+  // event a snapshot returns must be internally consistent — a name
+  // from the writer set and (start, end) stamped by the same record()
+  // call (end == start + 1 for the writer's own req tag).
+  FlightRecorder fr(256);
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 5000;
+  static const char* const kNames[kWriters] = {"w0", "w1", "w2", "w3"};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const FlightEvent& e : fr.snapshot()) {
+        bool known = false;
+        for (const char* n : kNames) known = known || std::strcmp(e.name, n) == 0;
+        if (!known || e.end_ns != e.start_ns + 1 || e.req != e.start_ns) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t tag =
+            static_cast<std::uint64_t>(w) * kPerWriter + i;
+        fr.record(FlightKind::kSpan, kNames[w], tag, tag, tag + 1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(fr.recorded(), static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  const auto snap = fr.snapshot();
+  EXPECT_EQ(snap.size(), 256u);
+}
+
+TEST(FlightRecorder, GlobalIsSingletonAndEnabled) {
+  FlightRecorder& a = FlightRecorder::global();
+  FlightRecorder& b = FlightRecorder::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.capacity(), 64u);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 //           [--rate 200] [--requests 400] [--senders 4] [--seed 42]
 //           [--kernel vecmath.exp] [--n 65536]
 //           [--compare-batch "1,16"] [--netsim hdr200-fujitsu]
-//           [harness flags: --out-dir ...]
+//           [--sample-log FILE] [harness flags: --out-dir ...]
 //
 // Replays a seeded arrival trace against a running daemon and archives
 // the observed latency distribution as an ookami-bench-1 result
@@ -27,11 +27,17 @@
 // (netsim::DelaySampler, counter-indexed by request) to each measured
 // latency, for studying how the serving distribution composes with a
 // cluster interconnect.
+//
+// Every /run response carries the daemon's per-request trace id; the
+// slowest requests are printed with their ids so a tail sample can be
+// looked up live via GET /trace/<id>, and --sample-log FILE archives
+// every (phase, index, latency, trace) row as CSV.
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,8 +77,16 @@ std::vector<double> make_arrivals(const std::string& kind, std::size_t count, do
   return at;
 }
 
+/// One completed request: latency plus the daemon's trace id.
+struct Sample {
+  std::size_t index = 0;  ///< position in the arrival trace
+  double latency_s = 0.0;
+  std::string trace;      ///< 16-hex id from the response ("" pre-upgrade)
+};
+
 struct PhaseResult {
   std::vector<double> latency_s;  ///< completed requests only
+  std::vector<Sample> samples;    ///< same requests, with trace ids
   std::size_t ok = 0;
   std::size_t rejected = 0;  ///< typed `overloaded` responses
   std::size_t failed = 0;    ///< transport errors / other statuses
@@ -105,6 +119,7 @@ struct Config {
 PhaseResult replay(const Config& cfg, const std::vector<double>& arrivals) {
   PhaseResult out;
   std::vector<std::vector<double>> lat(cfg.senders);
+  std::vector<std::vector<Sample>> samples(cfg.senders);
   std::atomic<std::size_t> ok{0};
   std::atomic<std::size_t> rejected{0};
   std::atomic<std::size_t> failed{0};
@@ -137,6 +152,7 @@ PhaseResult replay(const Config& cfg, const std::vector<double>& arrivals) {
             lat[s].push_back(l);
             ok.fetch_add(1, std::memory_order_relaxed);
             const json::Value doc = json::Value::parse(r.body);
+            samples[s].push_back(Sample{i, l, doc.string_or("trace", "")});
             if (const json::Value* q = doc.find("queue_us"); q != nullptr && q->is_number()) {
               queue_ns.fetch_add(static_cast<std::uint64_t>(q->as_number() * 1e3),
                                  std::memory_order_relaxed);
@@ -160,6 +176,10 @@ PhaseResult replay(const Config& cfg, const std::vector<double>& arrivals) {
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   for (auto& v : lat) out.latency_s.insert(out.latency_s.end(), v.begin(), v.end());
   std::sort(out.latency_s.begin(), out.latency_s.end());
+  for (auto& v : samples) {
+    out.samples.insert(out.samples.end(), std::make_move_iterator(v.begin()),
+                       std::make_move_iterator(v.end()));
+  }
   out.ok = ok.load();
   out.rejected = rejected.load();
   out.failed = failed.load();
@@ -195,7 +215,7 @@ int main(int argc, char** argv) {
         "usage: loadgen --port P [--host H] [--trace poisson|bursty] [--rate R]\n"
         "               [--requests N] [--senders K] [--seed S] [--kernel NAME]\n"
         "               [--n SIZE] [--compare-batch \"1,16\"] [--netsim PROFILE]\n"
-        "               [harness flags]\n%s",
+        "               [--sample-log FILE] [harness flags]\n%s",
         harness::Options::usage().c_str());
     return 0;
   }
@@ -286,6 +306,33 @@ int main(int argc, char** argv) {
                 prefix.c_str(), result.ok, result.rejected, result.failed,
                 exact_quantile(result.latency_s, 0.50) * 1e3,
                 exact_quantile(result.latency_s, 0.99) * 1e3);
+    // Tail forensics: the slowest requests with their trace ids, ready
+    // for `curl /trace/<id>` while the daemon's flight ring still holds
+    // them.
+    std::vector<Sample> slow = result.samples;
+    std::sort(slow.begin(), slow.end(),
+              [](const Sample& a, const Sample& b) { return a.latency_s > b.latency_s; });
+    for (std::size_t i = 0; i < slow.size() && i < 3; ++i) {
+      std::printf("loadgen %-24s   slow[%zu] req#%zu %.3fms trace=%s\n", prefix.c_str(), i,
+                  slow[i].index, slow[i].latency_s * 1e3,
+                  slow[i].trace.empty() ? "-" : slow[i].trace.c_str());
+    }
+  }
+
+  if (const std::string sample_log = cli.get("sample-log", ""); !sample_log.empty()) {
+    std::FILE* f = std::fopen(sample_log.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write --sample-log %s\n", sample_log.c_str());
+      return 1;
+    }
+    std::fprintf(f, "phase,index,latency_s,trace\n");
+    for (const auto& [prefix, result] : phases) {
+      for (const Sample& s : result.samples) {
+        std::fprintf(f, "%s,%zu,%.9f,%s\n", prefix.c_str(), s.index, s.latency_s,
+                     s.trace.c_str());
+      }
+    }
+    std::fclose(f);
   }
 
   // With a two-point batch sweep, archive the batching-win claim: the
