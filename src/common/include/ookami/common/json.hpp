@@ -1,0 +1,125 @@
+#pragma once
+// Minimal JSON value type with an ordered object representation, a
+// writer and a recursive-descent parser.  Exists so the benchmark
+// harness can archive machine-readable results (and bench_diff can read
+// them back) without pulling an external dependency into the kit.
+//
+// Scope: everything RFC 8259 requires for the harness's own documents.
+// Numbers are stored as double; non-finite doubles serialize as `null`
+// (JSON has no NaN/Inf), which is exactly the empty-Summary convention
+// the harness wants.
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ookami::json {
+
+class Value;
+
+/// Error thrown by parse() with a byte offset into the input.
+class ParseError : public std::runtime_error {
+public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+private:
+  std::size_t offset_;
+};
+
+/// A JSON document node.  Objects preserve insertion order so emitted
+/// files diff cleanly across runs.
+class Value {
+public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;                                  // null
+  Value(std::nullptr_t) {}                            // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}     // NOLINT(google-explicit-constructor)
+  Value(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT(google-explicit-constructor)
+  Value(int i) : Value(static_cast<double>(i)) {}     // NOLINT(google-explicit-constructor)
+  Value(long long i) : Value(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor)
+  Value(unsigned long long i) : Value(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), str_(s) {}         // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return require(Type::kBool), bool_; }
+  [[nodiscard]] double as_number() const { return require(Type::kNumber), num_; }
+  [[nodiscard]] const std::string& as_string() const { return require(Type::kString), str_; }
+
+  /// Array access.
+  void push_back(Value v) {
+    require(Type::kArray);
+    arr_.push_back(std::move(v));
+  }
+  [[nodiscard]] std::size_t size() const {
+    return type_ == Type::kArray ? arr_.size() : members_.size();
+  }
+  [[nodiscard]] const Value& at(std::size_t i) const { return require(Type::kArray), arr_.at(i); }
+  [[nodiscard]] const std::vector<Value>& items() const { return require(Type::kArray), arr_; }
+
+  /// Object access.  set() replaces an existing key in place.
+  Value& set(const std::string& key, Value v);
+  [[nodiscard]] bool contains(const std::string& key) const { return find(key) != nullptr; }
+  /// Pointer to the member value or nullptr (never throws).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Member value; throws std::out_of_range when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members() const {
+    return require(Type::kObject), members_;
+  }
+
+  /// Typed convenience getters with fallbacks (object receivers only).
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key, const std::string& fallback) const;
+
+  /// Serialize.  indent <= 0 emits one compact line; indent > 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document (rejects trailing garbage).
+  static Value parse(const std::string& text);
+
+private:
+  void require(Type t) const {
+    if (type_ != t) throw std::logic_error("json::Value: wrong type access");
+  }
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string escape(const std::string& s);
+
+}  // namespace ookami::json

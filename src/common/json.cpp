@@ -1,10 +1,10 @@
-#include "ookami/harness/json.hpp"
+#include "ookami/common/json.hpp"
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace ookami::harness::json {
+namespace ookami::json {
 
 Value& Value::set(const std::string& key, Value v) {
   require(Type::kObject);
@@ -338,4 +338,4 @@ private:
 
 Value Value::parse(const std::string& text) { return Parser(text).run(); }
 
-}  // namespace ookami::harness::json
+}  // namespace ookami::json

@@ -1,0 +1,314 @@
+// Empirical autotuning for the dispatch registry (see autotune.hpp for
+// the model).  All state lives behind one mutex separate from the
+// registry's: calibration invokes kernels through their public entry
+// points, and those re-enter resolve() (short-circuited by the probe's
+// ScopedBackend), so this file must never be called with the registry
+// lock held.
+
+#include "ookami/dispatch/autotune.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+#include "autotune_internal.hpp"
+#include "ookami/common/json.hpp"
+
+namespace ookami::dispatch {
+
+namespace {
+
+struct TuneState {
+  std::mutex mu;
+  /// Winner per (kernel, size-class).
+  std::map<std::pair<std::string, int>, TuneRow> rows;
+  std::size_t calibrations = 0;
+  bool file_checked = false;  ///< OOKAMI_TUNE_FILE load attempted
+  int enabled_for_testing = -1;
+};
+
+TuneState& tune_state() {
+  static TuneState* s = new TuneState;  // leaked like the registry state
+  return *s;
+}
+
+bool env_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("OOKAMI_AUTOTUNE");
+    return v == nullptr || std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+constexpr const char* kSchema = "ookami-tune-1";
+
+json::Value row_to_json(const TuneRow& row) {
+  json::Value entry = json::Value::object();
+  entry.set("kernel", row.kernel);
+  entry.set("size_class", row.size_class);
+  entry.set("winner", simd::backend_name(row.winner));
+  json::Value measured = json::Value::object();
+  for (const auto& [backend, seconds] : row.measured) {
+    measured.set(simd::backend_name(backend), seconds * 1e6);
+  }
+  entry.set("measured_us", std::move(measured));
+  return entry;
+}
+
+/// Strictly decode one tuning-table row; returns false with a reason on
+/// any shape violation (unknown winner names are violations: a file is
+/// either fully understood or rejected, there is no half-trusted row).
+bool row_from_json(const json::Value& v, TuneRow& row, std::string& why) {
+  if (!v.is_object()) {
+    why = "entry is not an object";
+    return false;
+  }
+  const json::Value* kernel = v.find("kernel");
+  if (kernel == nullptr || !kernel->is_string() || kernel->as_string().empty()) {
+    why = "entry missing string 'kernel'";
+    return false;
+  }
+  const json::Value* size_class = v.find("size_class");
+  if (size_class == nullptr || !size_class->is_number()) {
+    why = "entry missing numeric 'size_class'";
+    return false;
+  }
+  const json::Value* winner = v.find("winner");
+  if (winner == nullptr || !winner->is_string() ||
+      !simd::parse_backend(winner->as_string(), row.winner)) {
+    why = "entry missing a known 'winner' backend";
+    return false;
+  }
+  row.kernel = kernel->as_string();
+  row.size_class = static_cast<int>(size_class->as_number());
+  row.measured.clear();
+  if (const json::Value* measured = v.find("measured_us")) {
+    if (!measured->is_object()) {
+      why = "'measured_us' is not an object";
+      return false;
+    }
+    for (const auto& [name, us] : measured->members()) {
+      simd::Backend b;
+      if (!simd::parse_backend(name, b) || !us.is_number()) {
+        why = "'measured_us' has an unknown backend or non-numeric time";
+        return false;
+      }
+      row.measured.emplace_back(b, us.as_number() * 1e-6);
+    }
+  }
+  return true;
+}
+
+std::string dump_locked(const TuneState& s) {
+  json::Value doc = json::Value::object();
+  doc.set("schema", kSchema);
+  json::Value entries = json::Value::array();
+  for (const auto& [key, row] : s.rows) entries.push_back(row_to_json(row));
+  doc.set("entries", std::move(entries));
+  return doc.dump(2) + "\n";
+}
+
+bool load_into_locked(TuneState& s, const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::Value::parse(buf.str());
+  } catch (const json::ParseError& e) {
+    if (error != nullptr) *error = path + ": " + e.what();
+    return false;
+  }
+  if (!doc.is_object() || doc.string_or("schema", "") != kSchema) {
+    if (error != nullptr) {
+      *error = path + ": missing or unknown schema (want \"" + kSchema + "\")";
+    }
+    return false;
+  }
+  const json::Value* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    if (error != nullptr) *error = path + ": missing 'entries' array";
+    return false;
+  }
+  std::vector<TuneRow> parsed;
+  parsed.reserve(entries->size());
+  for (const json::Value& v : entries->items()) {
+    TuneRow row;
+    std::string why;
+    if (!row_from_json(v, row, why)) {
+      if (error != nullptr) *error = path + ": " + why;
+      return false;
+    }
+    parsed.push_back(std::move(row));
+  }
+  // All-or-nothing merge: rows land only once the whole file validated.
+  for (TuneRow& row : parsed) {
+    const std::pair<std::string, int> key{row.kernel, row.size_class};
+    s.rows[key] = std::move(row);
+  }
+  return true;
+}
+
+/// Load OOKAMI_TUNE_FILE once per process (first autotune consult).
+/// Degrades with a warning: a broken file must not break resolution —
+/// kernel_registry --tune is the strict reader.
+void ensure_file_loaded_locked(TuneState& s) {
+  if (s.file_checked) return;
+  s.file_checked = true;
+  const char* path = std::getenv("OOKAMI_TUNE_FILE");
+  if (path == nullptr || path[0] == '\0') return;
+  std::string error;
+  std::ifstream probe(path);
+  if (!probe.good()) return;  // absent file: first run will create it
+  if (!load_into_locked(s, path, &error)) {
+    std::fprintf(stderr, "dispatch: ignoring tuning file %s\n", error.c_str());
+  }
+}
+
+void save_file_locked(TuneState& s) {
+  const char* path = std::getenv("OOKAMI_TUNE_FILE");
+  if (path == nullptr || path[0] == '\0') return;
+  const std::string tmp = std::string(path) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "dispatch: cannot write tuning file %s\n", tmp.c_str());
+      return;
+    }
+    out << dump_locked(s);
+  }
+  if (std::rename(tmp.c_str(), path) != 0) {
+    std::fprintf(stderr, "dispatch: cannot move tuning file into place at %s\n", path);
+    std::remove(tmp.c_str());
+  }
+}
+
+}  // namespace
+
+int size_class_of(std::size_t n) {
+  int c = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+bool autotune_enabled() {
+  TuneState& s = tune_state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.enabled_for_testing >= 0) return s.enabled_for_testing != 0;
+  }
+  return env_enabled();
+}
+
+std::vector<TuneRow> tuning_table() {
+  TuneState& s = tune_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<TuneRow> out;
+  out.reserve(s.rows.size());
+  for (const auto& [key, row] : s.rows) out.push_back(row);
+  return out;  // map order == sorted by (kernel, size-class)
+}
+
+std::size_t calibration_count() {
+  TuneState& s = tune_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.calibrations;
+}
+
+bool load_tune_file(const std::string& path, std::string* error) {
+  TuneState& s = tune_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return load_into_locked(s, path, error);
+}
+
+bool save_tune_file(const std::string& path, std::string* error) {
+  TuneState& s = tune_state();
+  std::string text;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    text = dump_locked(s);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = path + ": cannot open for writing";
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+std::string dump_tune_table() {
+  TuneState& s = tune_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return dump_locked(s);
+}
+
+void set_autotune_enabled_for_testing(int enabled) {
+  TuneState& s = tune_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.enabled_for_testing = enabled;
+}
+
+void reset_autotune_for_testing() {
+  TuneState& s = tune_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.rows.clear();
+  s.calibrations = 0;
+  s.file_checked = false;
+}
+
+namespace detail {
+
+simd::Backend autotune_request(const std::string& kernel, TuneFn tune,
+                               const std::vector<simd::Backend>& candidates, std::size_t n) {
+  TuneState& s = tune_state();
+  const std::pair<std::string, int> key{kernel, size_class_of(n)};
+  // Hold the tune lock across the whole miss path: concurrent first
+  // callers of the same kernel serialize on one calibration instead of
+  // racing duplicate measurements.  resolve() calls re-entered by the
+  // probes never reach this function (ScopedBackend short-circuits in
+  // requested_backend), so the lock cannot self-deadlock.
+  std::lock_guard<std::mutex> lock(s.mu);
+  ensure_file_loaded_locked(s);
+  if (const auto it = s.rows.find(key); it != s.rows.end()) return it->second.winner;
+
+  TuneRow row;
+  row.kernel = kernel;
+  row.size_class = key.second;
+  double best = 0.0;
+  std::vector<simd::Backend> probe_order;
+  probe_order.reserve(candidates.size() + 1);
+  probe_order.push_back(simd::Backend::kScalar);
+  probe_order.insert(probe_order.end(), candidates.begin(), candidates.end());
+  for (simd::Backend b : probe_order) {
+    (void)tune(b, n);  // warm caches, page in the variant
+    double t = tune(b, n);
+    t = std::min(t, tune(b, n));  // best-of-two after warmup
+    row.measured.emplace_back(b, t);
+    if (row.measured.size() == 1 || t < best) {
+      best = t;
+      row.winner = b;
+    }
+  }
+  s.calibrations += 1;
+  const simd::Backend winner = row.winner;
+  s.rows[key] = std::move(row);
+  save_file_locked(s);
+  return winner;
+}
+
+}  // namespace detail
+
+}  // namespace ookami::dispatch

@@ -1,0 +1,22 @@
+#pragma once
+// Registry-facing half of the autotune layer (not installed; only
+// registry.cpp and autotune.cpp include this).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ookami/dispatch/registry.hpp"
+
+namespace ookami::dispatch::detail {
+
+/// Consult the tuning table for (kernel, size_class_of(n)); on a miss,
+/// calibrate `tune` over scalar + `candidates` (registered + supported
+/// native backends, ascending) and cache the winner.  Called without
+/// any registry lock held: calibration invokes the kernel through its
+/// public entry point, which re-enters resolve() under the ScopedBackend
+/// short-circuit.
+simd::Backend autotune_request(const std::string& kernel, TuneFn tune,
+                               const std::vector<simd::Backend>& candidates, std::size_t n);
+
+}  // namespace ookami::dispatch::detail

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "autotune_internal.hpp"
+#include "ookami/dispatch/autotune.hpp"
 #include "ookami/dispatch/override.hpp"
 
 namespace ookami::dispatch {
@@ -16,7 +18,7 @@ namespace ookami::dispatch {
 namespace detail {
 
 namespace {
-constexpr int kBackendCount = static_cast<int>(simd::Backend::kAvx2) + 1;
+constexpr int kBackendCount = static_cast<int>(simd::Backend::kAvx512) + 1;
 constexpr int kEnvUnset = -2;  ///< per-kernel env rule not looked up yet
 constexpr int kEnvNone = -1;   ///< looked up: no rule matches this kernel
 }  // namespace
@@ -27,6 +29,7 @@ struct Entry {
   AnyFn fn[kBackendCount] = {};             ///< indexed by simd::Backend
   CheckFn check = nullptr;
   double check_tol = 0.0;
+  TuneFn tune = nullptr;
   /// Cached OOKAMI_KERNEL_BACKEND lookup for this kernel (the env var is
   /// read once per process, so the per-kernel answer never changes).
   std::atomic<int> env_request{kEnvUnset};
@@ -39,7 +42,7 @@ struct State {
   std::map<std::string, std::unique_ptr<Entry>, std::less<>> entries;
 
   std::atomic<bool> observing{false};
-  std::map<std::string, simd::Backend> observed;  ///< guarded by mu
+  std::map<std::string, std::pair<simd::Backend, Provenance>> observed;  ///< guarded by mu
 
   /// Test hook (set_overrides_for_testing): once armed it replaces
   /// env_overrides() as the per-kernel rule source.  Guarded by mu.
@@ -60,9 +63,14 @@ namespace {
 }
 
 /// Pre-clamp backend request for `e` under the registry precedence:
-/// ScopedBackend > per-kernel env rule > global env/CPUID.
-simd::Backend requested_backend(Entry* e) {
-  if (simd::scoped_backend_active()) return simd::active_backend();
+/// ScopedBackend > per-kernel env rule > autotune (sized calls on tuned
+/// kernels only) > global env/CPUID.  `n_valid`/`n` carry the caller's
+/// element count for the autotune step.
+simd::Backend requested_backend(Entry* e, bool n_valid, std::size_t n, Provenance& prov) {
+  if (simd::scoped_backend_active()) {
+    prov = Provenance::kScoped;
+    return simd::active_backend();
+  }
   int cached = e->env_request.load(std::memory_order_relaxed);
   if (cached == kEnvUnset) {
     simd::Backend want;
@@ -76,7 +84,29 @@ simd::Backend requested_backend(Entry* e) {
     cached = found ? static_cast<int>(want) : kEnvNone;
     e->env_request.store(cached, std::memory_order_relaxed);
   }
-  if (cached >= 0) return simd::clamp_backend(static_cast<simd::Backend>(cached));
+  if (cached >= 0) {
+    prov = Provenance::kEnvRule;
+    return simd::clamp_backend(static_cast<simd::Backend>(cached));
+  }
+  if (n_valid && e->tune != nullptr && autotune_enabled()) {
+    // Candidates: every registered variant the CPU can run, capped at
+    // the global ceiling — OOKAMI_SIMD_BACKEND=avx2 is an explicit user
+    // choice, so the tuner only picks among variants at or below it
+    // (with no env var the ceiling is CPUID and the cap is a no-op).
+    // The fn[] slots are written only during static initialization, so
+    // reading them unlocked here mirrors resolve() itself.
+    const int ceiling = static_cast<int>(simd::active_backend());
+    std::vector<simd::Backend> candidates;
+    for (int i = 1; i <= ceiling && i < kBackendCount; ++i) {
+      const auto b = static_cast<simd::Backend>(i);
+      if (e->fn[i] != nullptr && simd::backend_supported(b)) candidates.push_back(b);
+    }
+    if (!candidates.empty()) {
+      prov = Provenance::kAutotune;
+      return autotune_request(e->name, e->tune, candidates, n);
+    }
+  }
+  prov = Provenance::kCeiling;
   return simd::active_backend();
 }
 
@@ -123,9 +153,21 @@ void add_check(Entry* e, CheckFn fn, double tolerance) {
   e->check_tol = tolerance;
 }
 
-AnyFn resolve(Entry* e, simd::Backend& used, const std::type_info& sig) {
+void add_tuner(Entry* e, TuneFn fn) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (e->tune != nullptr) die(*e, "duplicate tuner registration");
+  if (fn == nullptr) die(*e, "null tuner function");
+  e->tune = fn;
+}
+
+namespace {
+
+AnyFn resolve_impl(Entry* e, bool n_valid, std::size_t n, simd::Backend& used,
+                   const std::type_info& sig) {
   if (e->sig != nullptr && *e->sig != sig) die(*e, "resolve() signature mismatch");
-  const simd::Backend request = requested_backend(e);
+  Provenance prov = Provenance::kCeiling;
+  const simd::Backend request = requested_backend(e, n_valid, n, prov);
   used = simd::Backend::kScalar;
   AnyFn fn = nullptr;
   // Clamp down to the best registered variant the CPU can run; scalar
@@ -141,12 +183,36 @@ AnyFn resolve(Entry* e, simd::Backend& used, const std::type_info& sig) {
   State& s = state();
   if (s.observing.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(s.mu);
-    s.observed[e->name] = used;
+    s.observed[e->name] = {used, prov};
   }
   return fn;
 }
 
+}  // namespace
+
+AnyFn resolve(Entry* e, simd::Backend& used, const std::type_info& sig) {
+  return resolve_impl(e, false, 0, used, sig);
+}
+
+AnyFn resolve_sized(Entry* e, std::size_t n, simd::Backend& used, const std::type_info& sig) {
+  return resolve_impl(e, true, n, used, sig);
+}
+
 }  // namespace detail
+
+const char* provenance_name(Provenance p) {
+  switch (p) {
+    case Provenance::kScoped:
+      return "scoped";
+    case Provenance::kEnvRule:
+      return "env-rule";
+    case Provenance::kAutotune:
+      return "autotune";
+    case Provenance::kCeiling:
+      return "ceiling";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -158,6 +224,7 @@ KernelInfo info_of(const detail::Entry& e) {
   }
   k.has_check = e.check != nullptr;
   k.check_tolerance = e.check_tol;
+  k.has_tuner = e.tune != nullptr;
   return k;
 }
 
@@ -193,6 +260,20 @@ simd::Backend resolved_backend(std::string_view name) {
   return used;
 }
 
+simd::Backend resolved_backend(std::string_view name, std::size_t n) {
+  detail::State& s = detail::state();
+  detail::Entry* e = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.entries.find(name);
+    if (it == s.entries.end()) return simd::Backend::kScalar;
+    e = it->second.get();
+  }
+  simd::Backend used;
+  (void)detail::resolve_sized(e, n, used, e->sig != nullptr ? *e->sig : typeid(void));
+  return used;
+}
+
 CheckFn check(std::string_view name, double* tolerance) {
   detail::State& s = detail::state();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -219,11 +300,13 @@ void begin_observation() {
   s.observing.store(true, std::memory_order_relaxed);
 }
 
-std::vector<std::pair<std::string, simd::Backend>> take_observation() {
+std::vector<Observation> take_observation() {
   detail::State& s = detail::state();
   std::lock_guard<std::mutex> lock(s.mu);
   s.observing.store(false, std::memory_order_relaxed);
-  std::vector<std::pair<std::string, simd::Backend>> out(s.observed.begin(), s.observed.end());
+  std::vector<Observation> out;
+  out.reserve(s.observed.size());
+  for (const auto& [name, rec] : s.observed) out.push_back({name, rec.first, rec.second});
   s.observed.clear();
   return out;
 }
@@ -265,9 +348,12 @@ std::string_view trim(std::string_view s) {
 OverrideSet parse_overrides(std::string_view spec, std::vector<std::string>* errors) {
   OverrideSet set;
   auto complain = [&](std::string_view entry, const char* why) {
-    if (errors != nullptr) {
-      errors->push_back("'" + std::string(entry) + "': " + why);
-    }
+    if (errors == nullptr) return;
+    std::string msg = "'";
+    msg.append(entry);
+    msg += "': ";
+    msg += why;
+    errors->push_back(std::move(msg));
   };
   std::size_t pos = 0;
   while (pos <= spec.size()) {
@@ -293,7 +379,7 @@ OverrideSet parse_overrides(std::string_view spec, std::vector<std::string>* err
     }
     OverrideRule rule;
     if (!simd::parse_backend(value, rule.backend)) {
-      complain(item, "unknown backend (want scalar, sse2 or avx2)");
+      complain(item, "unknown backend (want scalar, sse2, avx2 or avx512)");
       continue;
     }
     rule.pattern = std::string(pattern);

@@ -76,7 +76,7 @@ std::string Options::usage() {
          "  --filter SUBSTR   only run benches whose name contains SUBSTR\n"
          "  --list            print registered bench names and exit\n"
          "  --list-kernels    print the kernel registry manifest and exit: one\n"
-         "                    'name<TAB>scalar[,sse2[,avx2]]' line per registered\n"
+         "                    'name<TAB>scalar[,sse2[,avx2[,avx512]]]' line per registered\n"
          "                    kernel (per-kernel overrides via OOKAMI_KERNEL_BACKEND,\n"
          "                    e.g. \"hpcc.dgemm=sse2,vecmath.*=scalar\")\n"
          "  --help            this message\n";
@@ -118,6 +118,11 @@ json::Value Series::to_json(bool keep_samples) const {
     json::Value kb = json::Value::object();
     for (const auto& [kernel, b] : kernel_backends) kb.set(kernel, b);
     v.set("kernel_backends", std::move(kb));
+  }
+  if (!kernel_provenance.empty()) {
+    json::Value kp = json::Value::object();
+    for (const auto& [kernel, p] : kernel_provenance) kp.set(kernel, p);
+    v.set("kernel_provenance", std::move(kp));
   }
   v.set("count", static_cast<double>(stats.count()));
   // An empty Summary has no measurements; emit explicit nulls rather
@@ -181,11 +186,12 @@ const Summary& Run::time(const std::string& series, const std::function<void()>&
   const auto observed = dispatch::take_observation();
   if (!observed.empty()) {
     bool uniform = true;
-    for (const auto& [kernel, b] : observed) {
-      out.kernel_backends.emplace_back(kernel, simd::backend_name(b));
-      if (b != observed.front().second) uniform = false;
+    for (const dispatch::Observation& o : observed) {
+      out.kernel_backends.emplace_back(o.kernel, simd::backend_name(o.backend));
+      out.kernel_provenance.emplace_back(o.kernel, dispatch::provenance_name(o.provenance));
+      if (o.backend != observed.front().backend) uniform = false;
     }
-    out.backend = uniform ? simd::backend_name(observed.front().second) : "mixed";
+    out.backend = uniform ? simd::backend_name(observed.front().backend) : "mixed";
   }
   series_.push_back(std::move(out));
   return series_.back().stats;

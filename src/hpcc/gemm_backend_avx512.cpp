@@ -1,0 +1,25 @@
+// AVX-512 variant-registration stub for the packed DGEMM microkernel.
+// Compiled with -mavx512f -mavx512dq (see ookami_add_avx512_kernel); the
+// variant is reached only through registry dispatch after a CPUID check.
+// GemmTile widens the micro-tile to NR=8 here: one zmm per accumulator
+// row instead of the 4-wide ymm tile the avx2 instantiation uses.
+#include "ookami/dispatch/registry.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+
+#include "gemm_kernel_impl.hpp"
+
+OOKAMI_DISPATCH_VARIANT_TU(gemm_avx512)
+
+namespace ookami::hpcc::detail {
+namespace {
+
+using GemmPackedFn = void(std::size_t, const double*, const double*, double*, ThreadPool*);
+
+const dispatch::variant_registrar<GemmPackedFn> kRegGemm(
+    "hpcc.dgemm", simd::Backend::kAvx512, &PackedGemm<simd::arch::avx512>::run);
+
+}  // namespace
+}  // namespace ookami::hpcc::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX512

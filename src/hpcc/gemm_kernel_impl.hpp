@@ -31,15 +31,30 @@
 #include "ookami/common/threadpool.hpp"
 #include "ookami/simd/batch.hpp"
 #include "ookami/simd/batch_avx2.hpp"
+#include "ookami/simd/batch_avx512.hpp"
 #include "ookami/simd/batch_sse2.hpp"
 
 namespace ookami::hpcc::detail {
 
+/// Micro-tile width per arch: always one batch, so the register kernel
+/// keeps its MR accumulators in MR vector registers.  The 512-bit arch
+/// takes NR=8 (one zmm per accumulator row — 8 accumulators + the B
+/// vector + the A broadcast use 10 of 32 registers); everything
+/// narrower keeps the 4-column tile that fits 16 ymm/xmm registers.
+template <class A>
+struct GemmTile {
+  static constexpr std::size_t NR = 4;
+};
+template <>
+struct GemmTile<simd::arch::avx512> {
+  static constexpr std::size_t NR = 8;
+};
+
 template <class A>
 struct PackedGemm {
   static constexpr std::size_t MR = 8;   // micro-tile rows
-  static constexpr std::size_t NR = 4;   // micro-tile cols (one batch)
-  static constexpr std::size_t KC = 256; // K block: Bp strip = 8 KB
+  static constexpr std::size_t NR = GemmTile<A>::NR;  // micro-tile cols (one batch)
+  static constexpr std::size_t KC = 256; // K block: Bp strip = 8-16 KB
   static constexpr std::size_t MC = 64;  // M block: Ap block = 128 KB max
 
   using V = simd::batch<double, NR, A>;

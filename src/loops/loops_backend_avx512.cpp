@@ -1,0 +1,25 @@
+// AVX-512 variant-registration stub for the Figure 1 loop kernels.
+// Compiled with -mavx512f -mavx512dq (see ookami_add_avx512_kernel);
+// reached only through registry dispatch after a CPUID check.  The
+// sve_api veneer keeps the 8-lane structure, so here each ld1/gather is
+// a single zmm operation and each predicate a single __mmask8.
+#include "ookami/dispatch/registry.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+
+#include "loops_kernel_impl.hpp"
+
+OOKAMI_DISPATCH_VARIANT_TU(loops_avx512)
+
+namespace ookami::loops::detail {
+namespace {
+
+using Fig1Fn = void(LoopKind, const double*, double*, const std::uint32_t*, std::size_t);
+
+const dispatch::variant_registrar<Fig1Fn> kRegFig1(
+    "loops.fig1", simd::Backend::kAvx512, &run_fig1_impl<simd::arch::avx512>);
+
+}  // namespace
+}  // namespace ookami::loops::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX512

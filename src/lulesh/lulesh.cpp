@@ -17,6 +17,9 @@ OOKAMI_DISPATCH_USE_VARIANTS(lulesh_sse2)
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 OOKAMI_DISPATCH_USE_VARIANTS(lulesh_avx2)
 #endif
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+OOKAMI_DISPATCH_USE_VARIANTS(lulesh_avx512)
+#endif
 
 namespace ookami::lulesh {
 
@@ -312,10 +315,10 @@ Outcome run_sedov(const Options& opt) {
       OOKAMI_TRACE_SCOPE_IO("lulesh/kinematics",
                             static_cast<double>(s.nnode()) * 8.0 * (8.0 * 4.0 + 10.0),
                             static_cast<double>(s.nnode()) * 70.0);
-      if (KinematicsRowsFn* native = kKinematicsTable.resolve()) {
-        // Row-wise decomposition keeps element offsets contiguous along
-        // k; disjoint rows make the parallel split race-free.
-        const auto nrows = static_cast<std::size_t>(s.nn) * static_cast<std::size_t>(s.nn);
+      // Row-wise decomposition keeps element offsets contiguous along
+      // k; disjoint rows make the parallel split race-free.
+      const auto nrows = static_cast<std::size_t>(s.nn) * static_cast<std::size_t>(s.nn);
+      if (KinematicsRowsFn* native = kKinematicsTable.resolve(nrows)) {
         pool.parallel_for(0, nrows, [&](std::size_t rb, std::size_t re, unsigned) {
           native(n, s.nn, dt, s.press.data(), s.qvisc.data(), s.bx.data(), s.by.data(),
                  s.bz.data(), s.nmass.data(), s.xd.data(), s.yd.data(), s.zd.data(), s.x.data(),
@@ -437,6 +440,26 @@ double check_kinematics(simd::Backend bk) {
 }
 
 const dispatch::check_registrar kKinematicsCheck("lulesh.kinematics", &check_kinematics, 1e-10);
+
+/// Calibration probe: a short single-threaded Sedov run whose mesh edge
+/// tracks the caller's node-row count (clamped so calibration stays
+/// cheap).  The timed step loop is kinematics-dominated at these sizes,
+/// so whole-run seconds rank the variants empirically.  The
+/// ScopedBackend both forces the probed variant and keeps the inner
+/// resolve() from re-entering the autotuner.
+double tune_kinematics(simd::Backend bk, std::size_t n) {
+  Options opt;
+  const auto nn =
+      static_cast<int>(std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1))));
+  opt.edge_elems = std::clamp(nn - 1, 6, 16);
+  opt.max_steps = 4;
+  opt.variant = Variant::kVect;
+  opt.threads = 1;
+  simd::ScopedBackend force(bk);
+  return run_sedov(opt).seconds;
+}
+
+const dispatch::tune_registrar kKinematicsTune("lulesh.kinematics", &tune_kinematics);
 
 }  // namespace
 

@@ -1,0 +1,28 @@
+// AVX-512 variant-registration stub for the LULESH kinematics kernel.
+// Compiled with -mavx512f -mavx512dq (see ookami_add_avx512_kernel); the
+// variant is reached only through registry dispatch after a CPUID check.
+// kKinWidth widens the node strip to 8 lanes here: one zmm gather per
+// element corner instead of the 4-wide ymm strip the avx2 instantiation
+// uses.
+#include "ookami/dispatch/registry.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+
+#include "lulesh_kernel_impl.hpp"
+
+OOKAMI_DISPATCH_VARIANT_TU(lulesh_avx512)
+
+namespace ookami::lulesh::detail {
+namespace {
+
+using KinematicsRowsFn = void(int, int, double, const double*, const double*, const double*,
+                              const double*, const double*, const double*, double*, double*,
+                              double*, double*, double*, double*, std::size_t, std::size_t);
+
+const dispatch::variant_registrar<KinematicsRowsFn> kRegKinematics(
+    "lulesh.kinematics", simd::Backend::kAvx512, &kinematics_rows_impl<simd::arch::avx512>);
+
+}  // namespace
+}  // namespace ookami::lulesh::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX512

@@ -17,30 +17,43 @@
 // element offset is -1, masked inactive but still *formed* -- exactly
 // the negative-offset edge case the s64 gather contract covers.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
 #include "ookami/simd/batch.hpp"
 #include "ookami/simd/batch_avx2.hpp"
+#include "ookami/simd/batch_avx512.hpp"
 #include "ookami/simd/batch_sse2.hpp"
 
 namespace ookami::lulesh::detail {
+
+/// Node-strip width per arch: the 512-bit arch walks 8 nodes along k
+/// per step (one zmm gather per corner); everything narrower keeps the
+/// 4-node strip.
+template <class A>
+inline constexpr int kKinWidth = 4;
+template <>
+inline constexpr int kKinWidth<simd::arch::avx512> = 8;
 
 template <class A>
 void kinematics_rows_impl(int n, int nn, double dt, const double* press, const double* qvisc,
                           const double* bx, const double* by, const double* bz,
                           const double* nmass, double* xd, double* yd, double* zd, double* x,
                           double* y, double* z, std::size_t row_begin, std::size_t row_end) {
-  using V = simd::batch<double, 4, A>;
-  using VI = simd::batch<std::int64_t, 4, A>;
-  using M = simd::mask<4, A>;
-  const VI lanes = VI::from_array({0, 1, 2, 3});
+  constexpr int kW = kKinWidth<A>;
+  using V = simd::batch<double, kW, A>;
+  using VI = simd::batch<std::int64_t, kW, A>;
+  using M = simd::mask<kW, A>;
+  std::array<std::int64_t, kW> lane_ids{};
+  for (int l = 0; l < kW; ++l) lane_ids[static_cast<std::size_t>(l)] = l;
+  const VI lanes = VI::from_array(lane_ids);
   const V vdt = V::dup(dt);
   const auto nnu = static_cast<std::size_t>(nn);
   for (std::size_t r = row_begin; r < row_end; ++r) {
     const int i = static_cast<int>(r) / nn;
     const int j = static_cast<int>(r) % nn;
-    for (int k = 0; k < nn; k += 4) {
+    for (int k = 0; k < nn; k += kW) {
       const M pg = M::whilelt(static_cast<std::size_t>(k), nnu);
       const VI kl = VI::dup(k) + lanes;
       V fx = V::dup(0.0), fy = V::dup(0.0), fz = V::dup(0.0);
@@ -52,8 +65,8 @@ void kinematics_rows_impl(int n, int nn, double dt, const double* press, const d
         const M mv = pg & simd::cmpge(kl, VI::dup(kc)) & !simd::cmpge(kl, VI::dup(n + kc));
         const std::int64_t qbase =
             (static_cast<std::int64_t>(ei) * n + ej) * n + (k - kc);
-        std::int64_t eidx[4], bidx[4];
-        for (int l = 0; l < 4; ++l) {
+        std::int64_t eidx[kW], bidx[kW];
+        for (int l = 0; l < kW; ++l) {
           eidx[l] = qbase + l;
           bidx[l] = (qbase + l) * 8 + c;
         }

@@ -1,0 +1,26 @@
+// AVX-512 variant-registration stub for the CG CSR SpMV kernel.
+// Compiled with -mavx512f -mavx512dq (see ookami_add_avx512_kernel); the
+// variant is reached only through registry dispatch after a CPUID check.
+// kSpmvWidth widens the partial sums to 8 lanes here: one zmm gather
+// per step instead of the 4-wide ymm tile the avx2 instantiation uses.
+#include "ookami/dispatch/registry.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+
+#include "cg_kernel_impl.hpp"
+
+OOKAMI_DISPATCH_VARIANT_TU(cg_avx512)
+
+namespace ookami::npb::detail {
+namespace {
+
+using SpmvRangeFn = void(const int*, const int*, const double*, const double*, double*,
+                         std::size_t, std::size_t);
+
+const dispatch::variant_registrar<SpmvRangeFn> kRegSpmv(
+    "npb.cg.spmv", simd::Backend::kAvx512, &spmv_range_impl<simd::arch::avx512>);
+
+}  // namespace
+}  // namespace ookami::npb::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX512

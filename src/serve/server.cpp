@@ -275,6 +275,11 @@ void Server::handle_request(int fd, const HttpRequest& req) {
       json::Value entry = json::Value::object();
       entry.set("kernel", k.name);
       entry.set("max_n", static_cast<unsigned long long>(k.max_n));
+      // Static resolution (env rules + CPUID ceiling): what a request
+      // with no backend constraint starts from.  Unsized on purpose —
+      // a metadata endpoint must not trigger autotune calibration; the
+      // per-request `backend` field reports the sized, tuned choice.
+      entry.set("backend", simd::backend_name(dispatch::resolved_backend(k.name)));
       arr.push_back(std::move(entry));
     }
     write_http_response(fd, 200, arr.dump(0));
@@ -310,6 +315,14 @@ void Server::handle_healthz(int fd) {
   build.set("compiler", __VERSION__);
   build.set("cxx_standard", static_cast<long long>(__cplusplus));
   doc.set("build", std::move(build));
+
+  // Resolved backend per servable kernel (static resolution; see the
+  // /kernels handler for why this stays unsized).
+  json::Value kernels = json::Value::object();
+  for (const auto& k : catalog_->kernels()) {
+    kernels.set(k.name, simd::backend_name(dispatch::resolved_backend(k.name)));
+  }
+  doc.set("kernels", std::move(kernels));
 
   json::Value pool = json::Value::object();
   pool.set("threads", static_cast<unsigned long long>(pool_.size()));
@@ -582,14 +595,17 @@ void Server::process_batch(const std::vector<std::shared_ptr<Pending>>& batch) {
   if (batch.front()->backend_constraint >= 0) {
     scoped.emplace(static_cast<simd::Backend>(batch.front()->backend_constraint));
   }
-  const std::string backend_used =
-      simd::backend_name(dispatch::resolved_backend(servable->name));
-
   std::vector<BatchItem> items(batch.size());
+  std::size_t max_item_n = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     items[i].n = batch[i]->n;
     items[i].seed = batch[i]->seed;
+    max_item_n = std::max(max_item_n, batch[i]->n);
   }
+  // Sized resolution: reports the same (possibly autotuned) variant the
+  // kernel's array driver will pick for the batch's largest item.
+  const std::string backend_used =
+      simd::backend_name(dispatch::resolved_backend(servable->name, max_item_n));
 
   bool failed = false;
   std::string fail_reason;

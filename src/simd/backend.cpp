@@ -29,6 +29,16 @@ bool cpu_supports_avx2_fma() {
 #endif
 }
 
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // F is the 512-bit foundation; DQ supplies the 512-bit _pd logical
+  // forms the batch header relies on.
+  return __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
 Backend env_or_detected() {
   static Backend cached = [] {
     Backend b = detected_backend();
@@ -52,6 +62,8 @@ const char* backend_name(Backend b) {
       return "sse2";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -67,6 +79,10 @@ bool parse_backend(std::string_view name, Backend& out) {
   }
   if (name == "avx2") {
     out = Backend::kAvx2;
+    return true;
+  }
+  if (name == "avx512") {
+    out = Backend::kAvx512;
     return true;
   }
   return false;
@@ -88,6 +104,12 @@ bool backend_compiled(Backend b) {
 #else
       return false;
 #endif
+    case Backend::kAvx512:
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -100,13 +122,15 @@ bool backend_supported(Backend b) {
       return cpu_supports_sse2();
     case Backend::kAvx2:
       return cpu_supports_avx2_fma();
+    case Backend::kAvx512:
+      return cpu_supports_avx512();
   }
   return false;
 }
 
 Backend detected_backend() {
   static Backend cached = [] {
-    for (Backend b : {Backend::kAvx2, Backend::kSse2})
+    for (Backend b : {Backend::kAvx512, Backend::kAvx2, Backend::kSse2})
       if (backend_compiled(b) && backend_supported(b)) return b;
     return Backend::kScalar;
   }();

@@ -23,6 +23,11 @@ struct sse2 {};
 /// 256-bit AVX2 + FMA (x86-64-v3).  Four double lanes per register.
 struct avx2 {};
 
+/// 512-bit AVX-512 F+DQ.  Eight double lanes per register — the same
+/// vector length as A64FX SVE, so one batch<double, 8> is one zmm and
+/// one mask is one hardware __mmask8 predicate.
+struct avx512 {};
+
 template <class A>
 inline constexpr const char* name = "unknown";
 template <>
@@ -31,5 +36,7 @@ template <>
 inline constexpr const char* name<sse2> = "sse2";
 template <>
 inline constexpr const char* name<avx2> = "avx2";
+template <>
+inline constexpr const char* name<avx512> = "avx512";
 
 }  // namespace ookami::simd::arch

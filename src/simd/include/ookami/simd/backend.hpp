@@ -8,7 +8,7 @@
 //
 //   1. a ScopedBackend override (tests forcing a specific backend),
 //   2. the OOKAMI_SIMD_BACKEND environment variable ("scalar", "sse2",
-//      "avx2"), read once at first use,
+//      "avx2", "avx512"), read once at first use,
 //   3. the best compiled-in backend the CPU supports.
 //
 // Requests for a backend that is not compiled in or not supported by the
@@ -24,9 +24,11 @@ enum class Backend : int {
   kScalar = 0,
   kSse2 = 1,
   kAvx2 = 2,
+  kAvx512 = 3,
 };
 
-/// Stable lower-case name ("scalar", "sse2", "avx2") for env/JSON.
+/// Stable lower-case name ("scalar", "sse2", "avx2", "avx512") for
+/// env/JSON.
 const char* backend_name(Backend b);
 
 /// Parse a backend name; returns false and leaves `out` untouched on an

@@ -27,6 +27,7 @@
 #include "ookami/simd/arch.hpp"
 #include "ookami/simd/batch.hpp"
 #include "ookami/simd/batch_avx2.hpp"
+#include "ookami/simd/batch_avx512.hpp"
 #include "ookami/simd/batch_sse2.hpp"
 #include "ookami/sve/fexpa.hpp"
 

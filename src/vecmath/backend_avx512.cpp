@@ -1,0 +1,24 @@
+// AVX-512 variant-registration stub for the vecmath array kernels.
+// Compiled with -mavx512f -mavx512dq (see ookami_add_avx512_kernel);
+// the variants are reached only through registry dispatch after a
+// CPUID check.
+#include "ookami/dispatch/registry.hpp"
+
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+
+#include "backend_register.hpp"
+
+OOKAMI_DISPATCH_VARIANT_TU(vecmath_avx512)
+
+namespace ookami::vecmath::detail {
+namespace {
+
+const bool kRegistered = [] {
+  register_vecmath_variants<simd::sve_api<simd::arch::avx512>>(simd::Backend::kAvx512);
+  return true;
+}();
+
+}  // namespace
+}  // namespace ookami::vecmath::detail
+
+#endif  // OOKAMI_SIMD_HAVE_AVX512

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "ookami/common/rng.hpp"
+#include "ookami/common/timer.hpp"
 #include "ookami/simd/backend.hpp"
 #include "ookami/vecmath/ulp.hpp"
 
@@ -54,6 +55,31 @@ double backend_ulp_check(simd::Backend b, double lo, double hi, Fn&& fn) {
     }
   }
   return worst;
+}
+
+/// Calibration probe body shared by the vecmath tune registrars:
+/// seconds per invocation of `fn` over `n` uniform samples of [lo, hi)
+/// under forced backend `b`.  Sub-timer-resolution sizes are measured
+/// in geometrically grown blocks so tiny size-classes still rank
+/// variants meaningfully; the ScopedBackend both forces the variant and
+/// keeps the inner resolve() from re-entering the autotuner.
+template <class Fn>
+double backend_tune_run(simd::Backend b, std::size_t n, double lo, double hi, Fn&& fn) {
+  if (n == 0) return 0.0;
+  std::vector<double> x(n), y(n);
+  Xoshiro256 rng(47);
+  fill_uniform({x.data(), x.size()}, lo, hi, rng);
+  const std::span<const double> in{x.data(), x.size()};
+  const std::span<double> out{y.data(), y.size()};
+  simd::ScopedBackend force(b);
+  for (std::size_t reps = 1;; reps *= 4) {
+    WallTimer t;
+    for (std::size_t r = 0; r < reps; ++r) fn(in, out);
+    const double dt = t.elapsed();
+    if (dt > 20e-6 || reps > (std::size_t{1} << 20)) {
+      return dt / static_cast<double>(reps);
+    }
+  }
 }
 
 }  // namespace ookami::vecmath::detail

@@ -13,6 +13,9 @@ OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
 #endif
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx512)
+#endif
 
 namespace ookami::vecmath {
 
@@ -35,6 +38,14 @@ double check_exp(simd::Backend b) {
 }
 
 const dispatch::check_registrar kExpCheck("vecmath.exp", &check_exp, 2.0);
+
+double tune_exp(simd::Backend b, std::size_t n) {
+  return detail::backend_tune_run(b, n, -700.0, 700.0, [](auto in, auto out) {
+    exp_array(in, out, LoopShape::kVla, PolyScheme::kEstrin, Rounding::kCorrected);
+  });
+}
+
+const dispatch::tune_registrar kExpTune("vecmath.exp", &tune_exp);
 
 // 64/log(2) and the two-part split of log(2)/64 (Cody-Waite).  The high
 // part has its low 21 bits zeroed so n * kLn2Hi64 is exact for |n| < 2^21.
@@ -158,7 +169,7 @@ double exp_scalar(double x) {
 
 void exp_array(std::span<const double> x, std::span<double> y, LoopShape shape,
                PolyScheme scheme, Rounding rounding) {
-  if (ExpArrayFn* fn = kExpTable.resolve()) {
+  if (ExpArrayFn* fn = kExpTable.resolve(x.size())) {
     fn(x, y, shape, scheme, rounding);
     return;
   }

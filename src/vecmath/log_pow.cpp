@@ -14,6 +14,9 @@ OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
 #endif
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx512)
+#endif
 
 namespace ookami::vecmath {
 
@@ -48,6 +51,23 @@ double check_pow(simd::Backend b) {
 
 const dispatch::check_registrar kLogCheck("vecmath.log", &check_log, 2.0);
 const dispatch::check_registrar kPowCheck("vecmath.pow", &check_pow, 16.0);
+
+double tune_log(simd::Backend b, std::size_t n) {
+  return detail::backend_tune_run(b, n, 1e-300, 1e300,
+                                  [](auto in, auto out) { log_array(in, out); });
+}
+double tune_pow(simd::Backend b, std::size_t n) {
+  return detail::backend_tune_run(b, n, 0.001, 100.0, [](auto in, auto out) {
+    std::vector<double> e(in.size());
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      e[i] = -3.0 + 0.37 * static_cast<double>(i % 17);
+    }
+    pow_array(in, {e.data(), e.size()}, out);
+  });
+}
+
+const dispatch::tune_registrar kLogTune("vecmath.log", &tune_log);
+const dispatch::tune_registrar kPowTune("vecmath.pow", &tune_pow);
 
 constexpr double kLn2Hi = 0x1.62e42fefa0000p-1;
 constexpr double kLn2Lo = 0x1.cf79abc9e3b3ap-40;
@@ -136,7 +156,7 @@ Vec pow(const Vec& x, const Vec& y) {
 }
 
 void log_array(std::span<const double> x, std::span<double> y) {
-  if (UnaryArrayFn* fn = kLogTable.resolve()) {
+  if (UnaryArrayFn* fn = kLogTable.resolve(x.size())) {
     fn(x, y);
     return;
   }
@@ -147,7 +167,7 @@ void log_array(std::span<const double> x, std::span<double> y) {
 }
 
 void pow_array(std::span<const double> x, std::span<const double> y, std::span<double> z) {
-  if (PowArrayFn* fn = kPowTable.resolve()) {
+  if (PowArrayFn* fn = kPowTable.resolve(x.size())) {
     fn(x, y, z);
     return;
   }

@@ -13,6 +13,9 @@ OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
 #endif
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx512)
+#endif
 
 namespace ookami::vecmath {
 
@@ -38,6 +41,20 @@ double check_sqrt(simd::Backend b) {
 
 const dispatch::check_registrar kRecipCheck("vecmath.recip", &check_recip, 2.0);
 const dispatch::check_registrar kSqrtCheck("vecmath.sqrt", &check_sqrt, 2.0);
+
+double tune_recip(simd::Backend b, std::size_t n) {
+  return detail::backend_tune_run(b, n, 1e-300, 1e300, [](auto in, auto out) {
+    recip_array(in, out, DivSqrtStrategy::kNewton);
+  });
+}
+double tune_sqrt(simd::Backend b, std::size_t n) {
+  return detail::backend_tune_run(b, n, 1e-300, 1e300, [](auto in, auto out) {
+    sqrt_array(in, out, DivSqrtStrategy::kNewton);
+  });
+}
+
+const dispatch::tune_registrar kRecipTune("vecmath.recip", &tune_recip);
+const dispatch::tune_registrar kSqrtTune("vecmath.sqrt", &tune_sqrt);
 
 }  // namespace
 
@@ -97,7 +114,7 @@ void drive(std::span<const double> x, std::span<double> y, Fn&& fn) {
 }  // namespace
 
 void recip_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy strategy) {
-  if (StrategyArrayFn* fn = kRecipTable.resolve()) {
+  if (StrategyArrayFn* fn = kRecipTable.resolve(x.size())) {
     fn(x, y, strategy);
     return;
   }
@@ -109,7 +126,7 @@ void recip_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy
 }
 
 void sqrt_array(std::span<const double> x, std::span<double> y, DivSqrtStrategy strategy) {
-  if (StrategyArrayFn* fn = kSqrtTable.resolve()) {
+  if (StrategyArrayFn* fn = kSqrtTable.resolve(x.size())) {
     fn(x, y, strategy);
     return;
   }

@@ -13,6 +13,9 @@ OOKAMI_DISPATCH_USE_VARIANTS(vecmath_sse2)
 #if defined(OOKAMI_SIMD_HAVE_AVX2)
 OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx2)
 #endif
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+OOKAMI_DISPATCH_USE_VARIANTS(vecmath_avx512)
+#endif
 
 namespace ookami::vecmath {
 
@@ -39,6 +42,18 @@ double check_cos(simd::Backend b) {
 
 const dispatch::check_registrar kSinCheck("vecmath.sin", &check_sin, 2.0);
 const dispatch::check_registrar kCosCheck("vecmath.cos", &check_cos, 2.0);
+
+double tune_sin(simd::Backend b, std::size_t n) {
+  return detail::backend_tune_run(b, n, -100.0, 100.0,
+                                  [](auto in, auto out) { sin_array(in, out); });
+}
+double tune_cos(simd::Backend b, std::size_t n) {
+  return detail::backend_tune_run(b, n, -100.0, 100.0,
+                                  [](auto in, auto out) { cos_array(in, out); });
+}
+
+const dispatch::tune_registrar kSinTune("vecmath.sin", &tune_sin);
+const dispatch::tune_registrar kCosTune("vecmath.cos", &tune_cos);
 
 // Cody-Waite split of pi/2 into three parts; n * kPio2_1 is exact for
 // |n| < 2^24 because the low 27 bits of each part are zero.
@@ -108,7 +123,7 @@ Vec sin(const Vec& x) { return sincos_impl(x, 0); }
 Vec cos(const Vec& x) { return sincos_impl(x, 1); }
 
 void sin_array(std::span<const double> x, std::span<double> y) {
-  if (UnaryArrayFn* fn = kSinTable.resolve()) {
+  if (UnaryArrayFn* fn = kSinTable.resolve(x.size())) {
     fn(x, y);
     return;
   }
@@ -119,7 +134,7 @@ void sin_array(std::span<const double> x, std::span<double> y) {
 }
 
 void cos_array(std::span<const double> x, std::span<double> y) {
-  if (UnaryArrayFn* fn = kCosTable.resolve()) {
+  if (UnaryArrayFn* fn = kCosTable.resolve(x.size())) {
     fn(x, y);
     return;
   }

@@ -26,7 +26,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(Backend, NamesRoundTrip) {
-  for (Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+  for (Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2, Backend::kAvx512}) {
     Backend parsed{};
     ASSERT_TRUE(parse_backend(backend_name(b), parsed));
     EXPECT_EQ(parsed, b);
@@ -44,7 +44,7 @@ TEST(Backend, ScalarIsAlwaysAvailable) {
 }
 
 TEST(Backend, ClampNeverExceedsRequest) {
-  for (Backend req : {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+  for (Backend req : {Backend::kScalar, Backend::kSse2, Backend::kAvx2, Backend::kAvx512}) {
     const Backend got = clamp_backend(req);
     EXPECT_LE(static_cast<int>(got), static_cast<int>(req));
     EXPECT_TRUE(backend_compiled(got));
@@ -107,13 +107,28 @@ OOKAMI_AVX2_TEST(EstimateOps, Avx2, avx2_estimates_bit_identical)
 #undef OOKAMI_AVX2_TEST
 #endif
 
+#if defined(OOKAMI_SIMD_HAVE_AVX512)
+#define OOKAMI_AVX512_TEST(suite, name, fn)                               \
+  TEST(suite, name) {                                                     \
+    if (!backend_supported(Backend::kAvx512))                             \
+      GTEST_SKIP() << "no AVX-512 on this CPU";                           \
+    testing::fn();                                                        \
+  }
+OOKAMI_AVX512_TEST(BatchOps, Avx512MatchesScalar, avx512_batch_matches_scalar)
+OOKAMI_AVX512_TEST(BatchPredication, Avx512, avx512_whilelt_and_tail)
+OOKAMI_AVX512_TEST(GatherScatter, Avx512, avx512_gather_scatter_edges)
+OOKAMI_AVX512_TEST(FexpaBits, Avx512, avx512_fexpa_bit_identical)
+OOKAMI_AVX512_TEST(EstimateOps, Avx512, avx512_estimates_bit_identical)
+#undef OOKAMI_AVX512_TEST
+#endif
+
 // ---------------------------------------------------------------------------
 // Hot kernels forced onto every available backend
 // ---------------------------------------------------------------------------
 
 std::vector<Backend> available_backends() {
   std::vector<Backend> v = {Backend::kScalar};
-  for (Backend b : {Backend::kSse2, Backend::kAvx2}) {
+  for (Backend b : {Backend::kSse2, Backend::kAvx2, Backend::kAvx512}) {
     if (backend_compiled(b) && backend_supported(b)) v.push_back(b);
   }
   return v;

@@ -1,0 +1,20 @@
+// AVX-512 instantiations of the shared simd check bodies.  This TU is
+// compiled with -mavx512f/-mavx512dq (see ookami_add_avx512_kernel in
+// tests/CMakeLists.txt) so the avx512 batch specializations exist here;
+// simd_test.cpp only calls these after backend_supported(kAvx512).
+
+#include "simd_test_checks.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+namespace ookami::simd::testing {
+
+void avx512_batch_matches_scalar() { expect_batch_matches_scalar<arch::avx512>(); }
+void avx512_whilelt_and_tail() { expect_whilelt_and_tail<arch::avx512>(); }
+void avx512_gather_scatter_edges() { expect_gather_scatter_edges<arch::avx512>(); }
+void avx512_fexpa_bit_identical() { expect_fexpa_bit_identical<arch::avx512>(); }
+void avx512_estimates_bit_identical() { expect_estimates_bit_identical<arch::avx512>(); }
+
+}  // namespace ookami::simd::testing
+
+#endif

@@ -231,4 +231,13 @@ void avx2_gather_scatter_edges();
 void avx2_fexpa_bit_identical();
 void avx2_estimates_bit_identical();
 
+// Defined in simd_test_avx512.cpp (compiled with -mavx512f/-mavx512dq)
+// when the toolchain can build AVX-512 kernels; simd_test.cpp calls
+// them after a runtime CPU-support check.
+void avx512_batch_matches_scalar();
+void avx512_whilelt_and_tail();
+void avx512_gather_scatter_edges();
+void avx512_fexpa_bit_identical();
+void avx512_estimates_bit_identical();
+
 }  // namespace ookami::simd::testing

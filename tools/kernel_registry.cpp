@@ -7,6 +7,9 @@
 //                               # OOKAMI_KERNEL_BACKEND and CPUID clamping)
 //   kernel_registry --checks    # name<TAB>tolerance of the registered
 //                               # equivalence check ("-" when missing)
+//   kernel_registry --tune      # per-(kernel, size-class) autotune table
+//                               # from OOKAMI_TUNE_FILE; exit 2 when the
+//                               # file is malformed or unversioned
 //
 // The binary links every kernel-owning module, so its default output is
 // the authoritative list of kernels compiled into this tree; CI diffs it
@@ -14,9 +17,11 @@
 // fell out of the build (a renamed anchor, a dropped TU, a CMake edit).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "ookami/common/cli.hpp"
+#include "ookami/dispatch/autotune.hpp"
 #include "ookami/dispatch/registry.hpp"
 #include "ookami/hpcc/hpcc.hpp"
 #include "ookami/loops/kernels.hpp"
@@ -46,11 +51,41 @@ int main(int argc, char** argv) {
   namespace dispatch = ookami::dispatch;
   if (cli.has("help")) {
     std::printf(
-        "usage: %s [--resolved | --checks]\n"
-        "  (default)   kernel manifest: name<TAB>scalar[,sse2[,avx2]]\n"
+        "usage: %s [--resolved | --checks | --tune]\n"
+        "  (default)   kernel manifest: name<TAB>scalar[,sse2[,avx2[,avx512]]]\n"
         "  --resolved  backend each kernel resolves to right now\n"
-        "  --checks    registered equivalence-check tolerance per kernel\n",
+        "  --checks    registered equivalence-check tolerance per kernel\n"
+        "  --tune      autotune table (kernel, size-class, winner, measured us)\n"
+        "              loaded strictly from OOKAMI_TUNE_FILE; exit 2 when the\n"
+        "              file is malformed or missing its ookami-tune-1 tag\n",
         cli.program().c_str());
+    return 0;
+  }
+  if (cli.has("tune")) {
+    // Strict counterpart of the runtime's lazy loader: the runtime only
+    // warns and degrades (resolution must never fail), but an operator
+    // asking for the table wants the broken-file case to be loud.
+    if (const char* path = std::getenv("OOKAMI_TUNE_FILE"); path != nullptr && *path != '\0') {
+      std::string error;
+      if (!dispatch::load_tune_file(path, &error)) {
+        // The loader's diagnostic already names the path.
+        std::fprintf(stderr, "kernel_registry: %s\n", error.c_str());
+        return 2;
+      }
+    }
+    std::printf("kernel\tsize_class\twinner\tmeasured_us\n");
+    for (const dispatch::TuneRow& row : dispatch::tuning_table()) {
+      std::string measured;
+      for (const auto& [backend, seconds] : row.measured) {
+        if (!measured.empty()) measured += ",";
+        measured += ookami::simd::backend_name(backend);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "=%.3f", seconds * 1e6);
+        measured += buf;
+      }
+      std::printf("%s\t%d\t%s\t%s\n", row.kernel.c_str(), row.size_class,
+                  ookami::simd::backend_name(row.winner), measured.c_str());
+    }
     return 0;
   }
   if (cli.has("resolved")) {
