@@ -70,6 +70,20 @@ using CheckFn = double (*)(simd::Backend b);
 /// registry adds the warmup/repeat protocol on top.
 using TuneFn = double (*)(simd::Backend b, std::size_t n);
 
+/// Analytic cost of one calibration-probe invocation at element count
+/// `n`: the DRAM traffic and flop count the kernel's TuneFn workload
+/// performs.  A roofline over these numbers gives the *modeled* floor
+/// for the measured tuning time, so tools can flag measurements (or
+/// models) that are off by more than a sanity factor.
+struct TuneCost {
+  double bytes = 0.0;
+  double flops = 0.0;
+};
+
+/// Cost model of the kernel's TuneFn workload; registered next to the
+/// tune_registrar so the pair stays in one place.
+using CostFn = TuneCost (*)(std::size_t n);
+
 /// Introspection row: one registered kernel.
 struct KernelInfo {
   std::string name;
@@ -77,6 +91,7 @@ struct KernelInfo {
   bool has_check = false;
   double check_tolerance = 0.0;
   bool has_tuner = false;
+  bool has_cost = false;
 };
 
 /// How a resolution arrived at its backend (for the harness archive).
@@ -111,6 +126,9 @@ void add_check(Entry* e, CheckFn fn, double tolerance);
 
 /// Attach the calibration probe for the kernel.
 void add_tuner(Entry* e, TuneFn fn);
+
+/// Attach the cost model of the kernel's calibration workload.
+void add_cost(Entry* e, CostFn fn);
 
 /// Resolve the backend for `e` under the precedence rules above and
 /// return the variant function (nullptr => scalar reference path).
@@ -189,6 +207,14 @@ struct tune_registrar {
   }
 };
 
+/// Registers the cost model of the kernel's calibration workload;
+/// instantiate next to the tune_registrar it describes.
+struct cost_registrar {
+  cost_registrar(const char* name, CostFn fn) {
+    detail::add_cost(detail::entry(name), fn);
+  }
+};
+
 // --- Introspection -------------------------------------------------------
 
 /// All registered kernels, sorted by name.
@@ -209,6 +235,10 @@ simd::Backend resolved_backend(std::string_view name, std::size_t n);
 /// Equivalence check of `name`, or nullptr when none is registered.
 /// `tolerance` (optional) receives the registered bound.
 CheckFn check(std::string_view name, double* tolerance = nullptr);
+
+/// Cost model of `name`'s calibration workload, or nullptr when none is
+/// registered.
+CostFn cost(std::string_view name);
 
 /// One line per kernel — "name<TAB>scalar,sse2,avx2" sorted by name —
 /// the stable manifest format behind the harness --list-kernels mode and

@@ -30,6 +30,7 @@ struct Entry {
   CheckFn check = nullptr;
   double check_tol = 0.0;
   TuneFn tune = nullptr;
+  CostFn cost = nullptr;
   /// Cached OOKAMI_KERNEL_BACKEND lookup for this kernel (the env var is
   /// read once per process, so the per-kernel answer never changes).
   std::atomic<int> env_request{kEnvUnset};
@@ -161,6 +162,14 @@ void add_tuner(Entry* e, TuneFn fn) {
   e->tune = fn;
 }
 
+void add_cost(Entry* e, CostFn fn) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (e->cost != nullptr) die(*e, "duplicate cost-model registration");
+  if (fn == nullptr) die(*e, "null cost function");
+  e->cost = fn;
+}
+
 namespace {
 
 AnyFn resolve_impl(Entry* e, bool n_valid, std::size_t n, simd::Backend& used,
@@ -225,6 +234,7 @@ KernelInfo info_of(const detail::Entry& e) {
   k.has_check = e.check != nullptr;
   k.check_tolerance = e.check_tol;
   k.has_tuner = e.tune != nullptr;
+  k.has_cost = e.cost != nullptr;
   return k;
 }
 
@@ -281,6 +291,13 @@ CheckFn check(std::string_view name, double* tolerance) {
   if (it == s.entries.end()) return nullptr;
   if (tolerance != nullptr) *tolerance = it->second->check_tol;
   return it->second->check;
+}
+
+CostFn cost(std::string_view name) {
+  detail::State& s = detail::state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.entries.find(name);
+  return it == s.entries.end() ? nullptr : it->second->cost;
 }
 
 std::string manifest() {

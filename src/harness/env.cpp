@@ -81,6 +81,7 @@ Environment capture_environment() {
       "OOKAMI_THREADS",        "OOKAMI_TRACE",    "OOKAMI_SIMD_BACKEND",
       "OOKAMI_KERNEL_BACKEND", "OOKAMI_AUTOTUNE", "OOKAMI_TUNE_FILE",
       "OOKAMI_POOL_BARRIER",   "OOKAMI_POOL_GROUP_SIZE",
+      "OOKAMI_TASKGRAPH",      "OOKAMI_TASKGRAPH_CHUNKS",
       "OOKAMI_SERVE_PORT",     "OOKAMI_SERVE_QUEUE_DEPTH", "OOKAMI_SERVE_BATCH",
       "OOKAMI_SERVE_THREADS",
       "OMP_NUM_THREADS",       "OMP_PROC_BIND",   "OMP_PLACES",

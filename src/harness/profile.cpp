@@ -184,6 +184,7 @@ std::vector<trace::Event> events_from_chrome(const json::Value& doc,
     double bytes, flops;
     bool injected;
     std::uint64_t req;
+    std::uint32_t graph, task, dep;
   };
   std::vector<Raw> raws;
   raws.reserve(arr->size());
@@ -200,6 +201,9 @@ std::vector<trace::Event> events_from_chrome(const json::Value& doc,
     r.flops = 0.0;
     r.injected = false;
     r.req = 0;
+    r.graph = 0;
+    r.task = 0;
+    r.dep = trace::kNoParent;
     if (const json::Value* args = e.find("args"); args != nullptr && args->is_object()) {
       r.depth = args->number_or("depth", -1.0);
       r.bytes = args->number_or("bytes", 0.0);
@@ -210,6 +214,14 @@ std::vector<trace::Event> events_from_chrome(const json::Value& doc,
       if (const std::string req = args->string_or("req", ""); !req.empty()) {
         r.req = std::strtoull(req.c_str(), nullptr, 16);
       }
+      // Task-graph tags are plain numbers (32-bit values survive a JSON
+      // double); a graph span is always treated as injected so it can
+      // never act as an enclosing scope in the nesting reconstruction.
+      r.graph = static_cast<std::uint32_t>(args->number_or("graph", 0.0));
+      r.task = static_cast<std::uint32_t>(args->number_or("task", 0.0));
+      const double dep = args->number_or("dep", -1.0);
+      if (dep >= 0.0) r.dep = static_cast<std::uint32_t>(dep);
+      if (r.graph != 0) r.injected = true;
     }
     raws.push_back(r);
   }
@@ -243,6 +255,9 @@ std::vector<trace::Event> events_from_chrome(const json::Value& doc,
     ev.flops = r.flops;
     ev.injected = r.injected;
     ev.req = r.req;
+    ev.graph = r.graph;
+    ev.task = r.task;
+    ev.dep = r.dep;
     events.push_back(ev);
     // Injected spans are not scopes: they must not act as enclosing
     // intervals when reconstructing RAII nesting by containment.

@@ -177,6 +177,16 @@ double tune_gemm(simd::Backend bk, std::size_t n) {
 
 const dispatch::tune_registrar kGemmTune("hpcc.dgemm", &tune_gemm);
 
+/// Cost of one tune_gemm probe: 2m^3 flops over m x m operands.  At the
+/// probe sizes (<= 192) the matrices fit in cache, so the traffic floor
+/// is one pass over a and b plus a read-modify-write of c.
+dispatch::TuneCost cost_gemm(std::size_t n) {
+  const auto m = static_cast<double>(std::clamp<std::size_t>(n, 32, 192));
+  return {m * m * 32.0, 2.0 * m * m * m};
+}
+
+const dispatch::cost_registrar kGemmCost("hpcc.dgemm", &cost_gemm);
+
 }  // namespace
 
 double dgemm_check(GemmImpl impl, std::size_t n, unsigned threads) {

@@ -78,6 +78,17 @@ double tune_fig1(simd::Backend b, std::size_t n) {
 
 const dispatch::tune_registrar kFig1Tune("loops.fig1", &tune_fig1);
 
+/// Cost of one tune_fig1 probe: the kSimple loop streams x in and y
+/// out (16 B/elem) and retires two multiplies plus one fma (counted as
+/// two flops) per element.
+dispatch::TuneCost cost_fig1(std::size_t n) {
+  const auto m =
+      static_cast<double>(std::clamp<std::size_t>(n, 64, std::size_t{1} << 16));
+  return {m * 16.0, m * 4.0};
+}
+
+const dispatch::cost_registrar kFig1Cost("loops.fig1", &cost_fig1);
+
 }  // namespace
 
 std::vector<LoopKind> fig1_loop_kinds() {

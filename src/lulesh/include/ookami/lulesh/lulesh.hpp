@@ -22,6 +22,7 @@
 
 #include "ookami/common/threadpool.hpp"
 #include "ookami/perf/app_model.hpp"
+#include "ookami/taskgraph/taskgraph.hpp"
 
 namespace ookami::lulesh {
 
@@ -33,6 +34,11 @@ struct Options {
   int max_steps = 60;       ///< time steps
   Variant variant = Variant::kBase;
   unsigned threads = 1;
+  /// Orchestration of the step loop: bulk-synchronous phases (the
+  /// reference) or one dependency graph over all steps.  Both run the
+  /// same range bodies over the same chunk-independent loops, so the
+  /// results are bit-identical (see run_sedov).
+  taskgraph::Exec exec = taskgraph::default_exec();
 };
 
 /// Outcome of a run.

@@ -248,38 +248,218 @@ Outcome run_sedov(const Options& opt) {
   const double e_total0 = kE0;  // all energy starts internal, zero kinetic
 
   const double ne_d = static_cast<double>(s.nelem());
+  const auto nrows = static_cast<std::size_t>(s.nn) * static_cast<std::size_t>(s.nn);
+  const auto nn_u = static_cast<std::size_t>(s.nn);
 
-  auto geometry_pass = [&] {
-    // 24 position/velocity reads plus 27 geometry writes per element;
-    // 6 tets x ~60 flops each.
-    OOKAMI_TRACE_SCOPE_IO("lulesh/geometry", ne_d * 8.0 * 51.0, ne_d * 400.0);
-    pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t q = b; q < e; ++q) {
-        const int i = static_cast<int>(q) / (n * n);
-        const int j = (static_cast<int>(q) / n) % n;
-        const int k = static_cast<int>(q) % n;
-        elem_geometry(s, i, j, k);
-      }
-    });
+  // Resolve the native kinematics kernel once: both orchestrations then
+  // run the identical backend, which the bit-identity equivalence test
+  // relies on.
+  KinematicsRowsFn* const kin_native = kKinematicsTable.resolve(nrows);
+
+  std::vector<double> xd0(s.nnode()), yd0(s.nnode()), zd0(s.nnode());
+
+  // Range bodies shared by the bulk-synchronous and task-graph paths.
+  // Every loop is element- (or node-) independent and per-iteration
+  // deterministic, and the dt reduction is an exact min fold, so the
+  // results are bitwise independent of how the ranges are chunked —
+  // which makes the two orchestrations bit-identical at every thread
+  // count.
+  auto geometry_range = [&](std::size_t b, std::size_t e) {
+    for (std::size_t q = b; q < e; ++q) {
+      const int i = static_cast<int>(q) / (n * n);
+      const int j = (static_cast<int>(q) / n) % n;
+      const int k = static_cast<int>(q) % n;
+      elem_geometry(s, i, j, k);
+    }
   };
 
-  std::vector<double> xd0, yd0, zd0;
+  auto eos_range = [&](std::size_t b, std::size_t e) {
+    if (opt.variant == Variant::kBase) {
+      eos_base(s, b, e);
+    } else {
+      eos_vect(s, b, e);
+    }
+  };
+
+  // Courant condition on compressed elements; min over the range.
+  auto dt_min_range = [&](std::size_t b, std::size_t e) {
+    double best = 1e9;
+    for (std::size_t q = b; q < e; ++q) {
+      const double rho = s.emass[q] / s.vol[q];
+      const double cs = std::sqrt(kGamma * std::max(s.press[q], 1e-300) / rho);
+      const double lq = std::cbrt(s.vol[q]);
+      best = std::min(best, kCfl * lq / (cs + std::fabs(s.dvdt[q] / s.vol[q] * lq) + 1e-30));
+    }
+    return best;
+  };
+
+  auto copy_vel_rows = [&](std::size_t rb, std::size_t re) {
+    const std::size_t b = rb * nn_u, e = re * nn_u;
+    std::copy(s.xd.begin() + static_cast<std::ptrdiff_t>(b),
+              s.xd.begin() + static_cast<std::ptrdiff_t>(e), xd0.begin() + static_cast<std::ptrdiff_t>(b));
+    std::copy(s.yd.begin() + static_cast<std::ptrdiff_t>(b),
+              s.yd.begin() + static_cast<std::ptrdiff_t>(e), yd0.begin() + static_cast<std::ptrdiff_t>(b));
+    std::copy(s.zd.begin() + static_cast<std::ptrdiff_t>(b),
+              s.zd.begin() + static_cast<std::ptrdiff_t>(e), zd0.begin() + static_cast<std::ptrdiff_t>(b));
+  };
+
+  // Nodal force gather + velocity/position update over node rows
+  // [rb, re).  Row decomposition keeps element offsets contiguous along
+  // k; disjoint rows make the parallel split race-free.
+  auto kinematics_rows = [&](std::size_t rb, std::size_t re, double dt) {
+    if (kin_native != nullptr) {
+      kin_native(n, s.nn, dt, s.press.data(), s.qvisc.data(), s.bx.data(), s.by.data(),
+                 s.bz.data(), s.nmass.data(), s.xd.data(), s.yd.data(), s.zd.data(), s.x.data(),
+                 s.y.data(), s.z.data(), rb, re);
+      return;
+    }
+    for (std::size_t g = rb * nn_u; g < re * nn_u; ++g) {
+      const int i = static_cast<int>(g) / (s.nn * s.nn);
+      const int j = (static_cast<int>(g) / s.nn) % s.nn;
+      const int k = static_cast<int>(g) % s.nn;
+      double fx = 0.0, fy = 0.0, fz = 0.0;
+      for (int c = 0; c < 8; ++c) {
+        const int ei = i - (c & 1), ej = j - ((c >> 1) & 1), ek = k - ((c >> 2) & 1);
+        if (ei < 0 || ej < 0 || ek < 0 || ei >= n || ej >= n || ek >= n) continue;
+        const std::size_t q = s.eidx(ei, ej, ek);
+        const double sig = s.press[q] + s.qvisc[q];
+        fx += sig * s.bx[q * 8 + static_cast<std::size_t>(c)];
+        fy += sig * s.by[q * 8 + static_cast<std::size_t>(c)];
+        fz += sig * s.bz[q * 8 + static_cast<std::size_t>(c)];
+      }
+      const double inv_m = 1.0 / s.nmass[g];
+      s.xd[g] += dt * fx * inv_m;
+      s.yd[g] += dt * fy * inv_m;
+      s.zd[g] += dt * fz * inv_m;
+      // Symmetry planes: zero normal velocity on i=0 / j=0 / k=0.
+      if (i == 0) s.xd[g] = 0.0;
+      if (j == 0) s.yd[g] = 0.0;
+      if (k == 0) s.zd[g] = 0.0;
+      s.x[g] += dt * s.xd[g];
+      s.y[g] += dt * s.yd[g];
+      s.z[g] += dt * s.zd[g];
+    }
+  };
+
+  // Internal-energy update: dE = -(p+q) * grad(V) . v_mid * dt.  The
+  // kinetic-energy gain per node is exactly F . v_mid * dt, so summing
+  // the two conserves total energy to round-off.
+  auto energy_range = [&](std::size_t b, std::size_t e, double dt) {
+    for (std::size_t q = b; q < e; ++q) {
+      const int i = static_cast<int>(q) / (n * n);
+      const int j = (static_cast<int>(q) / n) % n;
+      const int k = static_cast<int>(q) % n;
+      const auto nd = s.elem_nodes(i, j, k);
+      double work_rate = 0.0;
+      for (int c = 0; c < 8; ++c) {
+        const std::size_t g = nd[static_cast<std::size_t>(c)];
+        work_rate += s.bx[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (xd0[g] + s.xd[g]) +
+                     s.by[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (yd0[g] + s.yd[g]) +
+                     s.bz[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (zd0[g] + s.zd[g]);
+      }
+      s.energy[q] -= (s.press[q] + s.qvisc[q]) * work_rate * dt;
+    }
+  };
 
   WallTimer timer;
   int step = 0;
+  if (opt.exec == taskgraph::Exec::kGraph && opt.max_steps > 0) {
+    // Dependency-graph orchestration: ONE graph covers every phase of
+    // every step, so the whole run pays a single fork/join and a chunk
+    // of a phase starts as soon as the chunks it actually reads from
+    // have finished.  The per-step CFL reduction is the one genuine
+    // global fan-in; it conveniently serializes the step boundary, which
+    // makes most cross-step anti-dependencies transitive.
+    step = opt.max_steps;
+    const auto steps_u = static_cast<std::size_t>(opt.max_steps);
+    const std::size_t ce = taskgraph::default_chunks(opt.threads);  // element chunks
+    std::vector<double> dts(steps_u, 0.0);             // dt of each step
+    std::vector<double> dtpart(steps_u * ce, 1e9);     // per-chunk CFL partials
+    const auto elem_ranges = taskgraph::TaskGraph::partition(0, s.nelem(), ce);
+
+    // Consumer element chunk [b, e) -> the node rows its elements read
+    // or write (elem plane i touches node planes i and i+1).
+    const auto nsq = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    auto elems_to_rows = [nsq, nn_u](std::size_t b, std::size_t e) {
+      const std::size_t pi0 = b / nsq;
+      const std::size_t pi1 = (e - 1) / nsq;
+      return std::make_pair(pi0 * nn_u, std::min(nn_u, pi1 + 2) * nn_u);
+    };
+    // Consumer node-row chunk [rb, re) -> the elements whose corner
+    // nodes live in those rows (node plane i touches elem planes i-1, i).
+    const auto n_u = static_cast<std::size_t>(n);
+    auto rows_to_elems = [nsq, nn_u, n_u](std::size_t rb, std::size_t re) {
+      const std::size_t i0 = rb / nn_u;
+      const std::size_t i1 = (re - 1) / nn_u;
+      return std::make_pair((i0 > 0 ? i0 - 1 : 0) * nsq, std::min(n_u, i1 + 1) * nsq);
+    };
+
+    taskgraph::TaskGraph g("lulesh/sedov");
+    using Phase = taskgraph::TaskGraph::Phase;
+    Phase prev_kin, prev_energy;
+    for (int st = 0; st < opt.max_steps; ++st) {
+      const auto su = static_cast<std::size_t>(st);
+      Phase copy = g.add_phase("lulesh/copy_vel", 0, nrows, ce, copy_vel_rows);
+      Phase geom = g.add_phase("lulesh/geometry", 0, s.nelem(), ce, geometry_range);
+      Phase eos = g.add_phase("lulesh/eos", 0, s.nelem(), ce, eos_range);
+      Phase dtp;
+      dtp.first = 0;
+      dtp.last = s.nelem();
+      dtp.ranges = elem_ranges;
+      for (std::size_t c = 0; c < elem_ranges.size(); ++c) {
+        const auto [b, e] = elem_ranges[c];
+        double* slot = &dtpart[su * ce + c];
+        dtp.tasks.push_back(
+            g.add("lulesh/dt_partial", [&dt_min_range, b = b, e = e, slot] { *slot = dt_min_range(b, e); }));
+      }
+      // Exact min fold in chunk order — bitwise equal to parallel_reduce
+      // (min of doubles is always one of its inputs).
+      const taskgraph::TaskId dtc =
+          g.add("lulesh/dt_combine", [&, su, nparts = elem_ranges.size()] {
+            double best = 1e9;
+            for (std::size_t c = 0; c < nparts; ++c) best = std::min(best, dtpart[su * ce + c]);
+            dts[su] = best;
+          });
+      Phase kin = g.add_phase("lulesh/kinematics", 0, nrows, ce,
+                              [&, su](std::size_t rb, std::size_t re) {
+                                kinematics_rows(rb, re, dts[su]);
+                              });
+      Phase energy = g.add_phase("lulesh/energy", 0, s.nelem(), ce,
+                                 [&, su](std::size_t b, std::size_t e) {
+                                   energy_range(b, e, dts[su]);
+                                 });
+
+      if (st > 0) {
+        g.depend_1to1(prev_kin, copy);                     // copy reads xd/yd/zd
+        g.depend_interval(prev_energy, copy, rows_to_elems);  // copy overwrites xd0 energy read
+        g.depend_interval(prev_kin, geom, elems_to_rows);  // geometry reads x/xd
+        g.depend_1to1(prev_energy, geom);                  // geometry overwrites b* energy read
+      }
+      g.depend_1to1(geom, eos);
+      g.depend_1to1(eos, dtp);
+      for (const taskgraph::TaskId t : dtp.tasks) g.add_edge(t, dtc);
+      for (const taskgraph::TaskId t : kin.tasks) g.add_edge(dtc, t);
+      g.depend_1to1(copy, kin);                            // kinematics overwrites xd copy read
+      g.depend_interval(kin, energy, elems_to_rows);       // energy reads xd0/xd of its nodes
+      prev_kin = kin;
+      prev_energy = energy;
+    }
+    g.run(pool);
+  } else {
   for (; step < opt.max_steps; ++step) {
-    geometry_pass();
+    {
+      // 24 position/velocity reads plus 27 geometry writes per element;
+      // 6 tets x ~60 flops each.
+      OOKAMI_TRACE_SCOPE_IO("lulesh/geometry", ne_d * 8.0 * 51.0, ne_d * 400.0);
+      pool.parallel_for(0, s.nelem(),
+                        [&](std::size_t b, std::size_t e, unsigned) { geometry_range(b, e); });
+    }
 
     // EOS + artificial viscosity (the Table II Base/Vect distinction).
     {
       OOKAMI_TRACE_SCOPE_IO("lulesh/eos", ne_d * 8.0 * 7.0, ne_d * 40.0);
-      pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
-        if (opt.variant == Variant::kBase) {
-          eos_base(s, b, e);
-        } else {
-          eos_vect(s, b, e);
-        }
-      });
+      pool.parallel_for(0, s.nelem(),
+                        [&](std::size_t b, std::size_t e, unsigned) { eos_range(b, e); });
     }
 
     // Stable time step (Courant condition on compressed elements).
@@ -288,16 +468,7 @@ Outcome run_sedov(const Options& opt) {
       OOKAMI_TRACE_SCOPE("lulesh/dt_reduce");
       dt = pool.parallel_reduce(
           0, s.nelem(), 1e9,
-          [&](std::size_t b, std::size_t e, unsigned) {
-            double best = 1e9;
-            for (std::size_t q = b; q < e; ++q) {
-              const double rho = s.emass[q] / s.vol[q];
-              const double cs = std::sqrt(kGamma * std::max(s.press[q], 1e-300) / rho);
-              const double lq = std::cbrt(s.vol[q]);
-              best = std::min(best, kCfl * lq / (cs + std::fabs(s.dvdt[q] / s.vol[q] * lq) + 1e-30));
-            }
-            return best;
-          },
+          [&](std::size_t b, std::size_t e, unsigned) { return dt_min_range(b, e); },
           [](double a, double b) { return std::min(a, b); });
     }
 
@@ -306,76 +477,26 @@ Outcome run_sedov(const Options& opt) {
     // bitwise independent of the thread count.  Old velocities are kept
     // so the energy update below can use midpoint velocities, making
     // total-energy conservation exact by construction.
-    xd0 = s.xd;
-    yd0 = s.yd;
-    zd0 = s.zd;
+    {
+      OOKAMI_TRACE_SCOPE("lulesh/copy_vel");
+      pool.parallel_for(0, nrows,
+                        [&](std::size_t rb, std::size_t re, unsigned) { copy_vel_rows(rb, re); });
+    }
     {
       // Gather of up to 8 elements' (p+q, B) per node: indirection-heavy,
       // plainly memory-bound.
       OOKAMI_TRACE_SCOPE_IO("lulesh/kinematics",
                             static_cast<double>(s.nnode()) * 8.0 * (8.0 * 4.0 + 10.0),
                             static_cast<double>(s.nnode()) * 70.0);
-      // Row-wise decomposition keeps element offsets contiguous along
-      // k; disjoint rows make the parallel split race-free.
-      const auto nrows = static_cast<std::size_t>(s.nn) * static_cast<std::size_t>(s.nn);
-      if (KinematicsRowsFn* native = kKinematicsTable.resolve(nrows)) {
-        pool.parallel_for(0, nrows, [&](std::size_t rb, std::size_t re, unsigned) {
-          native(n, s.nn, dt, s.press.data(), s.qvisc.data(), s.bx.data(), s.by.data(),
-                 s.bz.data(), s.nmass.data(), s.xd.data(), s.yd.data(), s.zd.data(), s.x.data(),
-                 s.y.data(), s.z.data(), rb, re);
-        });
-      } else {
-      pool.parallel_for(0, s.nnode(), [&](std::size_t b, std::size_t e, unsigned) {
-        for (std::size_t g = b; g < e; ++g) {
-          const int i = static_cast<int>(g) / (s.nn * s.nn);
-          const int j = (static_cast<int>(g) / s.nn) % s.nn;
-          const int k = static_cast<int>(g) % s.nn;
-          double fx = 0.0, fy = 0.0, fz = 0.0;
-          for (int c = 0; c < 8; ++c) {
-            const int ei = i - (c & 1), ej = j - ((c >> 1) & 1), ek = k - ((c >> 2) & 1);
-            if (ei < 0 || ej < 0 || ek < 0 || ei >= n || ej >= n || ek >= n) continue;
-            const std::size_t q = s.eidx(ei, ej, ek);
-            const double sig = s.press[q] + s.qvisc[q];
-            fx += sig * s.bx[q * 8 + static_cast<std::size_t>(c)];
-            fy += sig * s.by[q * 8 + static_cast<std::size_t>(c)];
-            fz += sig * s.bz[q * 8 + static_cast<std::size_t>(c)];
-          }
-          const double inv_m = 1.0 / s.nmass[g];
-          s.xd[g] += dt * fx * inv_m;
-          s.yd[g] += dt * fy * inv_m;
-          s.zd[g] += dt * fz * inv_m;
-          // Symmetry planes: zero normal velocity on i=0 / j=0 / k=0.
-          if (i == 0) s.xd[g] = 0.0;
-          if (j == 0) s.yd[g] = 0.0;
-          if (k == 0) s.zd[g] = 0.0;
-          s.x[g] += dt * s.xd[g];
-          s.y[g] += dt * s.yd[g];
-          s.z[g] += dt * s.zd[g];
-        }
+      pool.parallel_for(0, nrows, [&](std::size_t rb, std::size_t re, unsigned) {
+        kinematics_rows(rb, re, dt);
       });
-      }
     }
 
-    // Internal-energy update: dE = -(p+q) * grad(V) . v_mid * dt.  The
-    // kinetic-energy gain per node is exactly F . v_mid * dt, so summing
-    // the two conserves total energy to round-off.
     OOKAMI_TRACE_SCOPE_IO("lulesh/energy", ne_d * 8.0 * (24.0 + 6.0 * 8.0), ne_d * 50.0);
-    pool.parallel_for(0, s.nelem(), [&](std::size_t b, std::size_t e, unsigned) {
-      for (std::size_t q = b; q < e; ++q) {
-        const int i = static_cast<int>(q) / (n * n);
-        const int j = (static_cast<int>(q) / n) % n;
-        const int k = static_cast<int>(q) % n;
-        const auto nd = s.elem_nodes(i, j, k);
-        double work_rate = 0.0;
-        for (int c = 0; c < 8; ++c) {
-          const std::size_t g = nd[static_cast<std::size_t>(c)];
-          work_rate += s.bx[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (xd0[g] + s.xd[g]) +
-                       s.by[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (yd0[g] + s.yd[g]) +
-                       s.bz[q * 8 + static_cast<std::size_t>(c)] * 0.5 * (zd0[g] + s.zd[g]);
-        }
-        s.energy[q] -= (s.press[q] + s.qvisc[q]) * work_rate * dt;
-      }
-    });
+    pool.parallel_for(0, s.nelem(),
+                      [&](std::size_t b, std::size_t e, unsigned) { energy_range(b, e, dt); });
+  }
   }
   const double seconds = timer.elapsed();
 
@@ -460,6 +581,24 @@ double tune_kinematics(simd::Backend bk, std::size_t n) {
 }
 
 const dispatch::tune_registrar kKinematicsTune("lulesh.kinematics", &tune_kinematics);
+
+/// Approximate cost of one tune_kinematics probe: a 4-step Sedov run at
+/// the probe mesh size.  The per-step constants are operation counts
+/// read off the kVect kinematics/geometry loops (hexahedron gradients,
+/// volume, strain rates dominate), not a calibrated fit — close enough
+/// for a roofline sanity check of the measured tuning time.
+dispatch::TuneCost cost_kinematics(std::size_t n) {
+  const auto nn =
+      static_cast<int>(std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1))));
+  const auto edge = static_cast<double>(std::clamp(nn - 1, 6, 16));
+  const double elems = edge * edge * edge;
+  const double nodes = (edge + 1.0) * (edge + 1.0) * (edge + 1.0);
+  const double steps = 4.0;
+  return {steps * (nodes * 6.0 * 8.0 * 2.0 + elems * 16.0 * 8.0),
+          steps * (elems * 350.0 + nodes * 30.0)};
+}
+
+const dispatch::cost_registrar kKinematicsCost("lulesh.kinematics", &cost_kinematics);
 
 }  // namespace
 

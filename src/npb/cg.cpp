@@ -264,6 +264,19 @@ double tune_spmv(simd::Backend bk, std::size_t n) {
 
 const dispatch::tune_registrar kSpmvTune("npb.cg.spmv", &tune_spmv);
 
+/// Approximate cost of one tune_spmv probe.  makea(na, 8, ...) leaves
+/// roughly nonzer*(nonzer+1) = 72 entries per row after assembly; SpMV
+/// reads each entry's value (8 B) and column (4 B) once, streams the
+/// row pointers and the x/y vectors, and retires a multiply-add per
+/// entry.
+dispatch::TuneCost cost_spmv(std::size_t n) {
+  const auto na = static_cast<double>(std::clamp<std::size_t>(n, 64, 1400));
+  const double nnz = na * 72.0;
+  return {nnz * 12.0 + na * 24.0, nnz * 2.0};
+}
+
+const dispatch::cost_registrar kSpmvCost("npb.cg.spmv", &cost_spmv);
+
 double dot(const std::vector<double>& x, const std::vector<double>& y, ThreadPool& pool) {
   OOKAMI_TRACE_SCOPE_IO("cg/dot", 16.0 * static_cast<double>(x.size()),
                         2.0 * static_cast<double>(x.size()));

@@ -1,0 +1,18 @@
+#pragma once
+// SP-specific entry point: the ADI step loop can run bulk-synchronous
+// (the npb.hpp default) or as one dependency graph over all iterations
+// (see src/taskgraph).  Kept out of npb.hpp so the generic suite API
+// stays orchestration-agnostic.
+
+#include "ookami/npb/npb.hpp"
+#include "ookami/taskgraph/taskgraph.hpp"
+
+namespace ookami::npb {
+
+/// Run SP under an explicit orchestration.  Both modes execute the same
+/// line-independent range bodies, so results are bit-identical at every
+/// thread count; the 2-argument run_sp(cls, threads) resolves the mode
+/// from OOKAMI_TASKGRAPH (taskgraph::default_exec).
+Result run_sp(Class cls, unsigned threads, taskgraph::Exec exec);
+
+}  // namespace ookami::npb

@@ -15,6 +15,8 @@
 #include "ookami/common/timer.hpp"
 #include "ookami/npb/grid.hpp"
 #include "ookami/npb/npb.hpp"
+#include "ookami/npb/sp.hpp"
+#include "ookami/taskgraph/taskgraph.hpp"
 #include "ookami/trace/trace.hpp"
 
 namespace ookami::npb {
@@ -104,6 +106,10 @@ double l4_at(Getter&& get, int i, int j, int k, int ni, double inv_h2) {
 }  // namespace
 
 Result run_sp(Class cls, unsigned threads) {
+  return run_sp(cls, threads, taskgraph::default_exec());
+}
+
+Result run_sp(Class cls, unsigned threads, taskgraph::Exec exec) {
   const SpSpec spec = sp_spec(cls);
   const DiffusionProblem p(spec.n);
   const int ni = spec.n - 2;
@@ -146,84 +152,148 @@ Result run_sp(Class cls, unsigned threads) {
   const double pts_d = static_cast<double>(ni) * ni * ni;
   static constexpr const char* kSweepName[3] = {"sp/x_solve", "sp/y_solve", "sp/z_solve"};
 
+  // Range bodies over flat (j,k) line indices, shared by the
+  // bulk-synchronous and task-graph orchestrations.  Every body is
+  // line-independent within its pass, so results are bitwise
+  // independent of the chunking — the two modes are bit-identical at
+  // every thread count.
+
+  // Explicit residual rhs = dt (R L4 u + f).
+  auto rhs_range = [&](std::size_t b, std::size_t e) {
+    for (std::size_t l = b; l < e; ++l) {
+      const int j = 1 + static_cast<int>(l) / ni;
+      const int k = 1 + static_cast<int>(l) % ni;
+      for (int i = 1; i <= ni; ++i) {
+        Vec5 l4{};
+        for (int m = 0; m < kNc; ++m) {
+          l4[static_cast<std::size_t>(m)] =
+              l4_at([&](int a, int bb, int c) { return u_at(a, bb, c, m); }, i, j, k, ni,
+                    inv_h2);
+        }
+        Vec5 r = mat5_apply(p.coupling(i, j, k), l4);
+        const Vec5 f = force.get(i, j, k);
+        for (int m = 0; m < kNc; ++m) {
+          r[static_cast<std::size_t>(m)] =
+              p.dt * (r[static_cast<std::size_t>(m)] + f[static_cast<std::size_t>(m)]);
+        }
+        delta.set(i, j, k, r);
+      }
+    }
+  };
+
+  // One scalar-pentadiagonal sweep direction over lines [b, e): for
+  // each line, each component independently.  Scalar bands mean far
+  // less arithmetic per touched byte than BT's 5x5 blocks — the
+  // structural reason the paper finds SP memory-bound.
+  auto sweep_range = [&](int dir, std::size_t b, std::size_t e) {
+    std::vector<PentaRow> rows(static_cast<std::size_t>(ni));
+    std::vector<double> rhs(static_cast<std::size_t>(ni));
+    for (std::size_t l = b; l < e; ++l) {
+      const int a = 1 + static_cast<int>(l) / ni;
+      const int c = 1 + static_cast<int>(l) % ni;
+      for (int m = 0; m < kNc; ++m) {
+        for (int i = 1; i <= ni; ++i) {
+          const auto w = row_weights(i, ni, inv_h2);
+          rows[static_cast<std::size_t>(i - 1)] = {-p.dt * w.m2, -p.dt * w.m1,
+                                                   1.0 - p.dt * w.c, -p.dt * w.p1,
+                                                   -p.dt * w.p2};
+          const int x = dir == 0 ? i : a;
+          const int y = dir == 1 ? i : (dir == 0 ? a : c);
+          const int z = dir == 2 ? i : c;
+          rhs[static_cast<std::size_t>(i - 1)] = delta.at(x, y, z, m);
+        }
+        solve_penta_line(rows, rhs);
+        for (int i = 1; i <= ni; ++i) {
+          const int x = dir == 0 ? i : a;
+          const int y = dir == 1 ? i : (dir == 0 ? a : c);
+          const int z = dir == 2 ? i : c;
+          delta.at(x, y, z, m) = rhs[static_cast<std::size_t>(i - 1)];
+        }
+      }
+    }
+  };
+
+  // u += delta.
+  auto add_range = [&](std::size_t b, std::size_t e) {
+    for (std::size_t l = b; l < e; ++l) {
+      const int j = 1 + static_cast<int>(l) / ni;
+      const int k = 1 + static_cast<int>(l) % ni;
+      for (int i = 1; i <= ni; ++i) {
+        for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += delta.at(i, j, k, m);
+      }
+    }
+  };
+
   WallTimer timer;
+  if (exec == taskgraph::Exec::kGraph && spec.iterations > 0) {
+    // Dependency-graph orchestration: one graph spans every ADI
+    // iteration, so the whole run pays a single fork/join.  Couplings:
+    //   rhs     <- prev add   by the +/-2 stencil halo in (j,k) line
+    //              space (and the rhs-overwrites-delta anti-dep, which
+    //              the halo covers since it contains the diagonal);
+    //   x_solve <- rhs        1:1 (same lines);
+    //   y_solve <- x_solve    full fan-in (transpose: a y line reads
+    //              delta written by x lines spread across all chunks);
+    //   z_solve <- y_solve    interval: z line (a, c) reads points the
+    //              y lines (a, *) wrote, i.e. the a-major block
+    //              [(a-1)*ni, a*ni) of producer lines;
+    //   add     <- z_solve    full fan-in (transpose again).
+    // The two transposes serialize each iteration's tail, making the
+    // remaining cross-iteration anti-dependencies transitive.
+    const std::size_t cl = taskgraph::default_chunks(threads);
+    const auto ni_u = static_cast<std::size_t>(ni);
+    const std::size_t halo = 2 * ni_u + 2;  // +/-2 in j is +/-2*ni flat, +/-2 in k
+    auto halo_map = [halo, lines](std::size_t b, std::size_t e) {
+      return std::make_pair(b > halo ? b - halo : 0, std::min(lines, e + halo));
+    };
+    auto block_map = [ni_u, lines](std::size_t b, std::size_t e) {
+      return std::make_pair((b / ni_u) * ni_u, std::min(lines, ((e - 1) / ni_u + 1) * ni_u));
+    };
+
+    taskgraph::TaskGraph g("sp/adi");
+    using Phase = taskgraph::TaskGraph::Phase;
+    Phase prev_add;
+    for (int iter = 0; iter < spec.iterations; ++iter) {
+      Phase rhs = g.add_phase("sp/rhs", 0, lines, cl, rhs_range);
+      Phase xs = g.add_phase("sp/x_solve", 0, lines, cl,
+                             [&](std::size_t b, std::size_t e) { sweep_range(0, b, e); });
+      Phase ys = g.add_phase("sp/y_solve", 0, lines, cl,
+                             [&](std::size_t b, std::size_t e) { sweep_range(1, b, e); });
+      Phase zs = g.add_phase("sp/z_solve", 0, lines, cl,
+                             [&](std::size_t b, std::size_t e) { sweep_range(2, b, e); });
+      Phase add = g.add_phase("sp/add", 0, lines, cl, add_range);
+      if (iter > 0) g.depend_interval(prev_add, rhs, halo_map);
+      g.depend_1to1(rhs, xs);
+      g.depend_all(xs, ys);
+      g.depend_interval(ys, zs, block_map);
+      g.depend_all(zs, add);
+      prev_add = add;
+    }
+    g.run(pool);
+  } else {
   for (int iter = 0; iter < spec.iterations; ++iter) {
-    // Explicit residual rhs = dt (R L4 u + f).
     {
       // 13-point fourth-order stencil over 5 components plus the force
       // read and the delta write.
       OOKAMI_TRACE_SCOPE_IO("sp/rhs", pts_d * kNc * 8.0 * 15.0, pts_d * 200.0);
-      pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
-        for (std::size_t l = b; l < e; ++l) {
-          const int j = 1 + static_cast<int>(l) / ni;
-          const int k = 1 + static_cast<int>(l) % ni;
-          for (int i = 1; i <= ni; ++i) {
-            Vec5 l4{};
-            for (int m = 0; m < kNc; ++m) {
-              l4[static_cast<std::size_t>(m)] =
-                  l4_at([&](int a, int bb, int c) { return u_at(a, bb, c, m); }, i, j, k, ni,
-                        inv_h2);
-            }
-            Vec5 r = mat5_apply(p.coupling(i, j, k), l4);
-            const Vec5 f = force.get(i, j, k);
-            for (int m = 0; m < kNc; ++m) {
-              r[static_cast<std::size_t>(m)] =
-                  p.dt * (r[static_cast<std::size_t>(m)] + f[static_cast<std::size_t>(m)]);
-            }
-            delta.set(i, j, k, r);
-          }
-        }
-      });
+      pool.parallel_for(0, lines,
+                        [&](std::size_t b, std::size_t e, unsigned) { rhs_range(b, e); });
     }
 
-    // Three scalar-pentadiagonal sweeps: for each direction, each line,
-    // each component independently.  Scalar bands mean far less
-    // arithmetic per touched byte than BT's 5x5 blocks — the structural
-    // reason the paper finds SP memory-bound.
+    // Three scalar-pentadiagonal sweeps.
     for (int dir = 0; dir < 3; ++dir) {
       OOKAMI_TRACE_SCOPE_IO(kSweepName[dir], pts_d * kNc * 8.0 * 2.0, pts_d * kNc * 15.0);
       pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
-        std::vector<PentaRow> rows(static_cast<std::size_t>(ni));
-        std::vector<double> rhs(static_cast<std::size_t>(ni));
-        for (std::size_t l = b; l < e; ++l) {
-          const int a = 1 + static_cast<int>(l) / ni;
-          const int c = 1 + static_cast<int>(l) % ni;
-          for (int m = 0; m < kNc; ++m) {
-            for (int i = 1; i <= ni; ++i) {
-              const auto w = row_weights(i, ni, inv_h2);
-              rows[static_cast<std::size_t>(i - 1)] = {-p.dt * w.m2, -p.dt * w.m1,
-                                                       1.0 - p.dt * w.c, -p.dt * w.p1,
-                                                       -p.dt * w.p2};
-              const int x = dir == 0 ? i : a;
-              const int y = dir == 1 ? i : (dir == 0 ? a : c);
-              const int z = dir == 2 ? i : c;
-              rhs[static_cast<std::size_t>(i - 1)] = delta.at(x, y, z, m);
-            }
-            solve_penta_line(rows, rhs);
-            for (int i = 1; i <= ni; ++i) {
-              const int x = dir == 0 ? i : a;
-              const int y = dir == 1 ? i : (dir == 0 ? a : c);
-              const int z = dir == 2 ? i : c;
-              delta.at(x, y, z, m) = rhs[static_cast<std::size_t>(i - 1)];
-            }
-          }
-        }
+        sweep_range(dir, b, e);
       });
     }
 
-    // u += delta.
     {
       OOKAMI_TRACE_SCOPE_IO("sp/add", pts_d * kNc * 8.0 * 3.0, pts_d * kNc);
-      pool.parallel_for(0, lines, [&](std::size_t b, std::size_t e, unsigned) {
-        for (std::size_t l = b; l < e; ++l) {
-          const int j = 1 + static_cast<int>(l) / ni;
-          const int k = 1 + static_cast<int>(l) % ni;
-          for (int i = 1; i <= ni; ++i) {
-            for (int m = 0; m < kNc; ++m) u.at(i, j, k, m) += delta.at(i, j, k, m);
-          }
-        }
-      });
+      pool.parallel_for(0, lines,
+                        [&](std::size_t b, std::size_t e, unsigned) { add_range(b, e); });
     }
+  }
   }
 
   Result res;

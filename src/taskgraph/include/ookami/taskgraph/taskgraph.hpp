@@ -1,0 +1,157 @@
+#pragma once
+// Dependency-graph executor: chunked-range tasks plus explicit edges,
+// scheduled on the existing ThreadPool with a per-task atomic in-degree
+// countdown.
+//
+// The paper's workloads run bulk-synchronous — every parallel_for phase
+// ends in a full fork/join, so cores idle at each phase boundary even
+// though the real inter-phase dependencies are much sparser (a chunk of
+// the EOS pass only needs *its* chunk of the geometry pass, not all of
+// them).  This module is the dataflow alternative: the caller declares
+// phases (a range split into chunks, one task per chunk, exactly the
+// static partition parallel_for would use) and the dependencies between
+// them — chunk-wise 1:1, full fan-in, or an interval overlap for halo/
+// transpose couplings — and run() drains the whole DAG with ONE
+// fork/join: a chunk of phase N+1 starts as soon as the chunks of phase
+// N it depends on complete, with no global barrier in between.
+//
+// Execution contract:
+//   * run() submits one parallel region over the pool; every worker
+//     loops {pop ready task, execute, decrement dependents}.  The ready
+//     queue is mutex+condvar FIFO — tasks are coarse (a chunk of a hot
+//     phase, tens of microseconds and up), so queue contention is
+//     noise, and threads only sleep at genuine fan-ins.
+//   * The countdown is an acq_rel fetch_sub per edge: the decrement
+//     that takes a task's counter to zero observed every producer's
+//     writes, so a task always sees its dependencies' effects.  The
+//     same decrementer records itself as the task's *critical parent* —
+//     the dependency whose completion made the task ready — which is
+//     exactly the backward chain of the run's critical path.
+//   * If the pool is busy or the caller is a worker (nested
+//     submission), ThreadPool's single-submitter rule runs the region
+//     serially: one drain loop retires the entire graph on the calling
+//     thread, in a valid topological order by construction.
+//   * Task bodies must not submit to the same pool (they would degrade
+//     to serial, not deadlock, but the point of the graph is lost).
+//   * When tracing is enabled each task is recorded as a graph span
+//     (trace::record_graph_span) carrying the graph run id, the task
+//     index and the critical parent, so trace::aggregate() reconstructs
+//     and reports the critical path, and run() wraps the drain in a
+//     "taskgraph/run" region.
+//   * A throwing task marks the run failed: remaining tasks are retired
+//     without executing their bodies (their outputs would be garbage
+//     anyway) and the first exception is rethrown after the join.
+//
+// Graphs are single-shot: build, run() once, discard.  run() validates
+// acyclicity up front and throws std::logic_error on a cycle instead of
+// deadlocking.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "ookami/common/threadpool.hpp"
+
+namespace ookami::taskgraph {
+
+/// Which orchestration a workload should use for its phase structure.
+enum class Exec {
+  kBarrier,  ///< bulk-synchronous parallel_for per phase (the reference)
+  kGraph,    ///< dependency-driven TaskGraph execution
+};
+
+const char* exec_name(Exec e);
+
+/// Process default: Exec::kGraph when OOKAMI_TASKGRAPH is "1"/"true"/
+/// "on", else the bulk-synchronous reference.  Read per call so tests
+/// and harness sweeps can flip the environment between runs.
+Exec default_exec();
+
+/// Chunks per phase for a graph built to run on `threads` workers:
+/// OOKAMI_TASKGRAPH_CHUNKS when set (clamped to >= 1), else 2x the
+/// worker count — mild oversubscription keeps workers fed across a
+/// fan-in without inflating the per-task overhead.
+std::size_t default_chunks(unsigned threads);
+
+using TaskId = std::uint32_t;
+constexpr TaskId kNoTask = 0xFFFFFFFFu;
+
+class TaskGraph {
+ public:
+  /// `name` is an interned literal (it becomes the "taskgraph/run"-
+  /// adjacent trace region name and must outlive the collector).
+  explicit TaskGraph(const char* name);
+
+  /// Add one task.  `task_name` must be an interned literal (phases
+  /// share one literal across their chunks so aggregation groups them).
+  TaskId add(const char* task_name, std::function<void()> fn);
+
+  /// `consumer` may only start after `producer` completed.  Duplicate
+  /// edges are allowed (each counts once toward the in-degree and once
+  /// in the countdown, so correctness is unaffected).
+  void add_edge(TaskId producer, TaskId consumer);
+
+  /// One phase: `chunks` tasks covering [first, last) in the same
+  /// contiguous static partition ThreadPool::parallel_for uses.
+  struct Phase {
+    std::vector<TaskId> tasks;                            ///< one per chunk
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;  ///< chunk [begin, end)
+    std::size_t first = 0, last = 0;                      ///< the phase's full range
+  };
+
+  /// The contiguous static partition of [first, last) into at most
+  /// `chunks` ranges (fewer when the range is shorter) that add_phase
+  /// uses — exposed so callers building per-chunk tasks by hand (e.g. a
+  /// reduction writing one partial slot per chunk) split identically.
+  static std::vector<std::pair<std::size_t, std::size_t>> partition(std::size_t first,
+                                                                    std::size_t last,
+                                                                    std::size_t chunks);
+
+  /// Split [first, last) into `chunks` tasks running
+  /// `body(chunk_begin, chunk_end)`.  An empty range yields no tasks.
+  Phase add_phase(const char* phase_name, std::size_t first, std::size_t last,
+                  std::size_t chunks, std::function<void(std::size_t, std::size_t)> body);
+
+  /// Chunk-wise 1:1 dependency: consumer chunk i waits on producer
+  /// chunk i.  Requires equal chunk counts over index-aligned ranges
+  /// (the usual same-decomposition case).
+  void depend_1to1(const Phase& producer, const Phase& consumer);
+
+  /// Full fan-in: every consumer chunk waits on every producer chunk
+  /// (transpose-style couplings where a chunk reads the whole array).
+  void depend_all(const Phase& producer, const Phase& consumer);
+
+  /// Interval dependency for halo/overlap couplings: for each consumer
+  /// chunk [b, e), `map` returns the half-open interval of *producer*
+  /// indices it reads (a conservative superset is always safe); edges
+  /// are added from every producer chunk intersecting that interval.
+  using IntervalMap = std::function<std::pair<std::size_t, std::size_t>(std::size_t, std::size_t)>;
+  void depend_interval(const Phase& producer, const Phase& consumer, const IntervalMap& map);
+
+  /// Drain the graph on `pool` (one fork/join for the whole DAG).
+  /// Throws std::logic_error on a cyclic graph; rethrows the first
+  /// task exception after all tasks retired.
+  void run(ThreadPool& pool);
+
+  [[nodiscard]] std::size_t tasks() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edges() const { return edge_count_; }
+  /// Graph run id carried by this graph's trace spans (process-unique).
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+ private:
+  struct Node {
+    const char* name;
+    std::function<void()> fn;
+    std::vector<TaskId> out;   ///< dependents
+    std::uint32_t indeg = 0;
+  };
+
+  const char* name_;
+  std::uint32_t id_;
+  std::vector<Node> nodes_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace ookami::taskgraph

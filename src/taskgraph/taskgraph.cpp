@@ -1,0 +1,240 @@
+#include "ookami/taskgraph/taskgraph.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "ookami/trace/trace.hpp"
+
+namespace ookami::taskgraph {
+
+const char* exec_name(Exec e) { return e == Exec::kGraph ? "graph" : "barrier"; }
+
+Exec default_exec() {
+  const char* v = std::getenv("OOKAMI_TASKGRAPH");
+  if (v == nullptr) return Exec::kBarrier;
+  if (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 || std::strcmp(v, "on") == 0) {
+    return Exec::kGraph;
+  }
+  return Exec::kBarrier;
+}
+
+std::size_t default_chunks(unsigned threads) {
+  if (const char* v = std::getenv("OOKAMI_TASKGRAPH_CHUNKS"); v != nullptr) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+    return 1;
+  }
+  const std::size_t t = threads > 0 ? threads : 1;
+  return 2 * t;
+}
+
+namespace {
+// Graph run ids are process-unique and nonzero: trace events use
+// graph == 0 to mean "not a task-graph span".
+std::atomic<std::uint32_t> g_next_graph_id{1};
+}  // namespace
+
+TaskGraph::TaskGraph(const char* name)
+    : name_(name), id_(g_next_graph_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TaskId TaskGraph::add(const char* task_name, std::function<void()> fn) {
+  Node n;
+  n.name = task_name;
+  n.fn = std::move(fn);
+  nodes_.push_back(std::move(n));
+  return static_cast<TaskId>(nodes_.size() - 1);
+}
+
+void TaskGraph::add_edge(TaskId producer, TaskId consumer) {
+  if (producer >= nodes_.size() || consumer >= nodes_.size()) {
+    throw std::out_of_range("TaskGraph::add_edge: task id out of range");
+  }
+  if (producer == consumer) {
+    throw std::logic_error("TaskGraph::add_edge: self-edge");
+  }
+  nodes_[producer].out.push_back(consumer);
+  ++nodes_[consumer].indeg;
+  ++edge_count_;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> TaskGraph::partition(std::size_t first,
+                                                                      std::size_t last,
+                                                                      std::size_t chunks) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (last <= first) return ranges;
+  if (chunks == 0) chunks = 1;
+  const std::size_t n = last - first;
+  if (chunks > n) chunks = n;
+  // The same contiguous static partition ThreadPool::static_chunk uses,
+  // so a graph phase touches exactly the ranges the barrier path would.
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = first;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+TaskGraph::Phase TaskGraph::add_phase(const char* phase_name, std::size_t first, std::size_t last,
+                                      std::size_t chunks,
+                                      std::function<void(std::size_t, std::size_t)> body) {
+  Phase p;
+  p.first = first;
+  p.last = last;
+  p.ranges = partition(first, last, chunks);
+  for (const auto& [begin, end] : p.ranges) {
+    p.tasks.push_back(add(phase_name, [body, begin = begin, end = end] { body(begin, end); }));
+  }
+  return p;
+}
+
+void TaskGraph::depend_1to1(const Phase& producer, const Phase& consumer) {
+  if (producer.tasks.size() != consumer.tasks.size()) {
+    throw std::logic_error("TaskGraph::depend_1to1: phases have different chunk counts");
+  }
+  for (std::size_t i = 0; i < producer.tasks.size(); ++i) {
+    add_edge(producer.tasks[i], consumer.tasks[i]);
+  }
+}
+
+void TaskGraph::depend_all(const Phase& producer, const Phase& consumer) {
+  for (const TaskId c : consumer.tasks) {
+    for (const TaskId p : producer.tasks) add_edge(p, c);
+  }
+}
+
+void TaskGraph::depend_interval(const Phase& producer, const Phase& consumer,
+                                const IntervalMap& map) {
+  for (std::size_t i = 0; i < consumer.tasks.size(); ++i) {
+    const auto [lo, hi] = map(consumer.ranges[i].first, consumer.ranges[i].second);
+    for (std::size_t j = 0; j < producer.tasks.size(); ++j) {
+      const auto [pb, pe] = producer.ranges[j];
+      if (pb < hi && lo < pe) add_edge(producer.tasks[j], consumer.tasks[i]);
+    }
+  }
+}
+
+void TaskGraph::run(ThreadPool& pool) {
+  const std::size_t n = nodes_.size();
+  if (n == 0) return;
+
+  // Kahn simulation up front: a cyclic graph must throw, not deadlock.
+  {
+    std::vector<std::uint32_t> indeg(n);
+    std::vector<TaskId> ready;
+    for (std::size_t t = 0; t < n; ++t) {
+      indeg[t] = nodes_[t].indeg;
+      if (indeg[t] == 0) ready.push_back(static_cast<TaskId>(t));
+    }
+    std::size_t seen = 0;
+    while (!ready.empty()) {
+      const TaskId t = ready.back();
+      ready.pop_back();
+      ++seen;
+      for (const TaskId d : nodes_[t].out) {
+        if (--indeg[d] == 0) ready.push_back(d);
+      }
+    }
+    if (seen != n) {
+      throw std::logic_error("TaskGraph::run: graph '" + std::string(name_) + "' has a cycle (" +
+                             std::to_string(n - seen) + " tasks unreachable)");
+    }
+  }
+
+  // Per-run scheduling state.  `pending` is the live in-degree
+  // countdown; the acq_rel RMW chain on each counter means the
+  // decrement that reaches zero has observed every producer's writes,
+  // so enqueueing the task publishes all of its dependencies' effects.
+  std::vector<std::atomic<std::uint32_t>> pending(n);
+  std::vector<std::atomic<TaskId>> parent(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t].store(nodes_[t].indeg, std::memory_order_relaxed);
+    parent[t].store(kNoTask, std::memory_order_relaxed);
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<TaskId> queue;  // FIFO via head index; never shrinks
+  queue.reserve(n);
+  std::size_t head = 0;
+  std::size_t completed = 0;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+
+  for (std::size_t t = 0; t < n; ++t) {
+    if (nodes_[t].indeg == 0) queue.push_back(static_cast<TaskId>(t));
+  }
+
+  const bool traced = trace::enabled();
+  auto worker = [&](std::size_t, std::size_t, unsigned) {
+    std::vector<TaskId> newly;
+    std::unique_lock<std::mutex> lock(mu);
+    while (completed < n) {
+      if (head == queue.size()) {
+        cv.wait(lock, [&] { return head < queue.size() || completed >= n; });
+        continue;
+      }
+      const TaskId t = queue[head++];
+      lock.unlock();
+
+      if (!failed.load(std::memory_order_relaxed)) {
+        const std::uint64_t t0 = traced ? trace::now_ns() : 0;
+        try {
+          nodes_[t].fn();
+        } catch (...) {
+          if (!failed.exchange(true, std::memory_order_relaxed)) {
+            std::lock_guard<std::mutex> g(mu);
+            first_error = std::current_exception();
+          }
+        }
+        if (traced) {
+          trace::record_graph_span(nodes_[t].name, t0, trace::now_ns(), id_,
+                                   static_cast<std::uint32_t>(t),
+                                   parent[t].load(std::memory_order_relaxed));
+        }
+      }
+
+      newly.clear();
+      for (const TaskId d : nodes_[t].out) {
+        if (pending[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // This completion made `d` ready: record it as the critical
+          // parent before the task becomes visible to other workers.
+          parent[d].store(static_cast<TaskId>(t), std::memory_order_relaxed);
+          newly.push_back(d);
+        }
+      }
+
+      lock.lock();
+      ++completed;
+      for (const TaskId d : newly) queue.push_back(d);
+      if (completed >= n) {
+        cv.notify_all();
+      } else if (!newly.empty()) {
+        // One task is ours to run next iteration; wake peers for the rest.
+        for (std::size_t i = 1; i < newly.size(); ++i) cv.notify_one();
+      }
+    }
+  };
+
+  {
+    // ONE fork/join for the entire DAG.  If the pool is busy (nested
+    // submission), parallel_for's serial fallback runs `worker` once on
+    // the calling thread, which drains the whole graph in topological
+    // order — same results, no deadlock.
+    trace::Scope scope(name_);
+    pool.parallel_for(std::size_t{0}, static_cast<std::size_t>(pool.size()), worker);
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ookami::taskgraph

@@ -30,6 +30,47 @@ struct SpanAccum {
   std::set<std::uint64_t> reqs;
 };
 
+struct GraphAccum {
+  std::vector<const Event*> tasks;
+  std::set<std::uint32_t> tids;
+};
+
+/// Fold one graph's task events into GraphStats, reconstructing the
+/// critical path by chaining critical parents backward from the
+/// last-finishing task.  Duplicate task indices (a task re-recorded by
+/// a malformed trace) keep the last occurrence; a dep pointing at an
+/// unseen task or a cycle terminates the walk instead of corrupting it.
+GraphStats fold_graph(std::uint32_t id, const GraphAccum& acc) {
+  GraphStats g;
+  g.id = id;
+  g.tasks = acc.tasks.size();
+  g.threads = static_cast<unsigned>(acc.tids.size());
+  std::map<std::uint32_t, const Event*> by_task;
+  std::uint64_t t0 = acc.tasks.front()->start_ns, t1 = acc.tasks.front()->end_ns;
+  const Event* sink = acc.tasks.front();
+  for (const Event* e : acc.tasks) {
+    g.total_s += e->seconds();
+    t0 = std::min(t0, e->start_ns);
+    t1 = std::max(t1, e->end_ns);
+    if (e->end_ns > sink->end_ns) sink = e;
+    by_task[e->task] = e;
+  }
+  g.wall_s = static_cast<double>(t1 - t0) * 1e-9;
+
+  std::set<std::uint32_t> visited;
+  for (const Event* e = sink; e != nullptr;) {
+    if (!visited.insert(e->task).second) break;  // cycle guard
+    g.critical_path.push_back({e->name, e->task,
+                               static_cast<double>(e->start_ns - t0) * 1e-9, e->seconds()});
+    g.critical_path_s += e->seconds();
+    if (e->dep == kNoParent) break;
+    const auto it = by_task.find(e->dep);
+    e = it == by_task.end() ? nullptr : it->second;
+  }
+  std::reverse(g.critical_path.begin(), g.critical_path.end());
+  return g;
+}
+
 }  // namespace
 
 Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
@@ -47,11 +88,17 @@ Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
   std::vector<const Event*> order;
   order.reserve(events.size());
   std::map<std::string, SpanAccum> span_by_name;
+  std::map<std::uint32_t, GraphAccum> graph_by_id;
   std::uint64_t t0 = events.front().start_ns, t1 = events.front().end_ns;
   for (const Event& e : events) {
     t0 = std::min(t0, e.start_ns);
     t1 = std::max(t1, e.end_ns);
-    if (e.injected) {
+    if (e.graph != 0) {
+      GraphAccum& acc = graph_by_id[e.graph];
+      acc.tasks.push_back(&e);
+      acc.tids.insert(e.tid);
+    }
+    if (e.injected || e.graph != 0) {
       // Injected spans are not part of any thread's nesting: aggregate
       // them on the side, keep them out of the exclusive-time replay.
       SpanAccum& acc = span_by_name[e.name];
@@ -88,6 +135,13 @@ Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
   std::sort(report.spans.begin(), report.spans.end(),
             [](const SpanStats& a, const SpanStats& b) {
               return a.total_s != b.total_s ? a.total_s > b.total_s : a.name < b.name;
+            });
+  report.graphs.reserve(graph_by_id.size());
+  for (const auto& [id, acc] : graph_by_id) report.graphs.push_back(fold_graph(id, acc));
+  std::sort(report.graphs.begin(), report.graphs.end(),
+            [](const GraphStats& a, const GraphStats& b) {
+              return a.critical_path_s != b.critical_path_s ? a.critical_path_s > b.critical_path_s
+                                                            : a.id < b.id;
             });
   if (order.empty()) return report;
 
@@ -231,6 +285,46 @@ std::string render(const Report& report, std::size_t top_n) {
                     static_cast<unsigned long long>(s.requests), s.threads);
       out += line;
     }
+  }
+
+  if (!report.graphs.empty()) {
+    out += '\n';
+    std::snprintf(line, sizeof line, "task graphs (record_graph_span, critical-parent chains):\n");
+    out += line;
+    for (const GraphStats& g : report.graphs) {
+      std::snprintf(line, sizeof line,
+                    "graph %u: %llu tasks on %u thread(s), work %.6f s, wall %.6f s, "
+                    "critical path %.6f s over %zu task(s)\n",
+                    g.id, static_cast<unsigned long long>(g.tasks), g.threads, g.total_s,
+                    g.wall_s, g.critical_path_s, g.critical_path.size());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string render_critical_path(const GraphStats& g) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "graph %u critical path: %zu task(s), %.6f s of %.6f s wall "
+                "(%llu tasks, %.6f s total work, %u thread(s))\n",
+                g.id, g.critical_path.size(), g.critical_path_s, g.wall_s,
+                static_cast<unsigned long long>(g.tasks), g.total_s, g.threads);
+  out += line;
+  std::size_t name_w = 4;
+  for (const GraphHop& h : g.critical_path) name_w = std::max(name_w, h.name.size());
+  std::snprintf(line, sizeof line, "%4s %-*s %8s %12s %12s\n", "hop",
+                static_cast<int>(name_w), "task", "index", "start(us)", "dur(us)");
+  out += line;
+  out.append(name_w + 40, '-');
+  out += '\n';
+  for (std::size_t i = 0; i < g.critical_path.size(); ++i) {
+    const GraphHop& h = g.critical_path[i];
+    std::snprintf(line, sizeof line, "%4zu %-*s %8u %12.3f %12.3f\n", i,
+                  static_cast<int>(name_w), h.name.c_str(), h.task, h.start_s * 1e6,
+                  h.seconds * 1e6);
+    out += line;
   }
   return out;
 }

@@ -75,6 +75,17 @@ std::string to_chrome_json(const std::vector<Event>& events) {
         out += buf;
       }
     }
+    if (e.graph != 0) {
+      // Task-graph spans: run id, task index, and the critical parent
+      // (omitted for sources).  32-bit values survive a JSON double.
+      char buf[64];
+      std::snprintf(buf, sizeof buf, ",\"graph\":%u,\"task\":%u", e.graph, e.task);
+      out += buf;
+      if (e.dep != kNoParent) {
+        std::snprintf(buf, sizeof buf, ",\"dep\":%u", e.dep);
+        out += buf;
+      }
+    }
     out += "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";

@@ -76,11 +76,36 @@ struct SpanStats {
   unsigned threads = 0;        ///< distinct recording threads
 };
 
+/// One hop of a reconstructed critical path (execution order).
+struct GraphHop {
+  std::string name;        ///< task (phase) name
+  std::uint32_t task = 0;  ///< task index within the graph
+  double start_s = 0.0;    ///< offset from the graph's first task start
+  double seconds = 0.0;    ///< task duration
+};
+
+/// Aggregated statistics of one task-graph run (record_graph_span
+/// output).  The critical path is reconstructed at aggregation time by
+/// walking the critical-parent chain backward from the last-finishing
+/// task: each task's `dep` names the dependency whose completion made
+/// it ready, so the chain is the dependency sequence that bounded the
+/// run's wall time from below.
+struct GraphStats {
+  std::uint32_t id = 0;          ///< graph run id
+  std::uint64_t tasks = 0;       ///< executed tasks seen in the trace
+  double total_s = 0.0;          ///< summed task durations (serial work T1)
+  double wall_s = 0.0;           ///< max(end) - min(start) over the graph's tasks
+  double critical_path_s = 0.0;  ///< summed durations along the chain (T-inf)
+  std::vector<GraphHop> critical_path;  ///< source -> sink
+  unsigned threads = 0;          ///< distinct executing threads
+};
+
 /// A full aggregated profile.
 struct Report {
   Roofline roofline;
   std::vector<RegionStats> regions;  ///< sorted by exclusive time, descending
   std::vector<SpanStats> spans;      ///< injected spans, by total time descending
+  std::vector<GraphStats> graphs;    ///< task-graph runs, by critical path descending
   double wall_s = 0.0;               ///< max(end) - min(start) over all events
   std::uint64_t events = 0;
   std::uint64_t dropped = 0;
@@ -96,8 +121,12 @@ Report aggregate(const std::vector<Event>& events, const Roofline& roofline,
                  std::uint64_t dropped_events = 0);
 
 /// Plain-text region table (the `trace_summary` payload), followed by
-/// the injected-span table when the trace contains spans.  `top_n` = 0
-/// prints every region.
+/// the injected-span table when the trace contains spans and a one-line
+/// digest per task-graph run.  `top_n` = 0 prints every region.
 std::string render(const Report& report, std::size_t top_n = 0);
+
+/// Plain-text hop-by-hop critical path of one task-graph run (the
+/// `trace_summary --critical-path` payload).
+std::string render_critical_path(const GraphStats& g);
 
 }  // namespace ookami::trace

@@ -27,7 +27,7 @@
 //      parents — exactly what the aggregator's exclusive-time pass
 //      wants.
 //   3. Names are interned string literals (`const char*`), never copied
-//      per event; an event is 6 words.
+//      per event; an event is a few words.
 //
 // Layering: this header depends on the C++ standard library only, so
 // even ookami_common (the ThreadPool) can be instrumented with it.
@@ -44,6 +44,10 @@
 
 namespace ookami::trace {
 
+/// Sentinel for Event::dep: the task had no critical parent (a graph
+/// source, or a task whose readiness predates tracing).
+constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
+
 /// One completed region instance.  `name` is an interned literal and
 /// must outlive the collector (string literals always do).
 struct Event {
@@ -55,6 +59,10 @@ struct Event {
   double bytes = 0.0;          ///< annotated memory traffic, 0 = unannotated
   double flops = 0.0;          ///< annotated FP work, 0 = unannotated
   std::uint64_t req = 0;       ///< request/trace id (record_span only), 0 = none
+  std::uint32_t graph = 0;     ///< task-graph run id (record_graph_span only), 0 = none
+  std::uint32_t task = 0;      ///< task index within its graph
+  std::uint32_t dep = kNoParent;  ///< critical parent: the dependency whose
+                                  ///< completion made this task ready
   bool injected = false;       ///< recorded via record_span, not an RAII scope
 
   [[nodiscard]] double seconds() const {
@@ -129,6 +137,18 @@ struct ScopeHooks {
 /// fire (there is no enclosed execution to sample).
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
                  double bytes = 0.0, double flops = 0.0, std::uint64_t req = 0);
+
+/// Record one executed task of a dependency-graph run (src/taskgraph).
+/// Like record_span the interval lands in the calling thread's buffer
+/// with `injected` set — a task is scheduled work, not part of the
+/// thread's RAII nesting — but it additionally carries the graph run id
+/// (nonzero), the task's index within the graph, and the index of its
+/// *critical parent*: the dependency whose completion made the task
+/// ready (kNoParent for sources).  aggregate() chains these back from
+/// the last-finishing task to reconstruct the run's critical path.
+void record_graph_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                       std::uint32_t graph, std::uint32_t task,
+                       std::uint32_t dep = kNoParent);
 
 /// Install (or, with nullptr, remove) the scope hooks.  The pointed-to
 /// struct must stay valid until replaced; install/remove from a

@@ -117,17 +117,49 @@ void set_scope_hooks(const ScopeHooks* hooks) {
   g_hooks.store(hooks, std::memory_order_release);
 }
 
-void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-                 double bytes, double flops, std::uint64_t req) {
-  if (!enabled()) return;
+namespace {
+
+/// Shared tail of record_span/record_graph_span: append one injected
+/// event to the calling thread's buffer, honouring the capacity cap.
+void push_injected(Event&& e) {
   ThreadBuffer& buf = local_buffer();
   const std::size_t cap = registry().capacity.load(std::memory_order_relaxed);
   if (buf.events.size() >= cap) {
     ++buf.dropped;
     return;
   }
-  buf.events.push_back(
-      Event{name, start_ns, end_ns, buf.tid, t_depth, bytes, flops, req, /*injected=*/true});
+  e.tid = buf.tid;
+  e.depth = t_depth;
+  e.injected = true;
+  buf.events.push_back(std::move(e));
+}
+
+}  // namespace
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 double bytes, double flops, std::uint64_t req) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.start_ns = start_ns;
+  e.end_ns = end_ns;
+  e.bytes = bytes;
+  e.flops = flops;
+  e.req = req;
+  push_injected(std::move(e));
+}
+
+void record_graph_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                       std::uint32_t graph, std::uint32_t task, std::uint32_t dep) {
+  if (!enabled() || graph == 0) return;
+  Event e;
+  e.name = name;
+  e.start_ns = start_ns;
+  e.end_ns = end_ns;
+  e.graph = graph;
+  e.task = task;
+  e.dep = dep;
+  push_injected(std::move(e));
 }
 
 void Scope::begin(const char* name, double bytes, double flops) {

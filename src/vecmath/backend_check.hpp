@@ -15,10 +15,23 @@
 
 #include "ookami/common/rng.hpp"
 #include "ookami/common/timer.hpp"
+#include "ookami/dispatch/registry.hpp"
 #include "ookami/simd/backend.hpp"
 #include "ookami/vecmath/ulp.hpp"
 
 namespace ookami::vecmath::detail {
+
+/// Cost of one backend_tune_run invocation: the probe streams the n
+/// inputs in and the n results out (`extra_in_streams` counts further
+/// 8-byte input streams, e.g. pow's exponent array) and retires
+/// `flops_per_elem` arithmetic operations per element.  The per-element
+/// flop counts the callers pass are operation counts of the polynomial
+/// core (range reduction + evaluation + scaling), not calibrated fits.
+inline dispatch::TuneCost stream_cost(std::size_t n, double flops_per_elem,
+                                      double extra_in_streams = 0.0) {
+  const auto d = static_cast<double>(n);
+  return {(16.0 + 8.0 * extra_in_streams) * d, flops_per_elem * d};
+}
 
 /// Worst ULP distance between `fn` run under the scalar backend and
 /// under `b`, over 1024 uniform samples of [lo, hi).  `fn` is called as

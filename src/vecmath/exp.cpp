@@ -47,6 +47,10 @@ double tune_exp(simd::Backend b, std::size_t n) {
 
 const dispatch::tune_registrar kExpTune("vecmath.exp", &tune_exp);
 
+// Cody-Waite reduction (~5 ops) + degree-5 Estrin (~8) + 2^m scaling.
+dispatch::TuneCost cost_exp(std::size_t n) { return detail::stream_cost(n, 15.0); }
+const dispatch::cost_registrar kExpCost("vecmath.exp", &cost_exp);
+
 // 64/log(2) and the two-part split of log(2)/64 (Cody-Waite).  The high
 // part has its low 21 bits zeroed so n * kLn2Hi64 is exact for |n| < 2^21.
 constexpr double kInvLn2x64 = 0x1.71547652b82fep+6;   // 64 / ln 2

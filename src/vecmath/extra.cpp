@@ -75,6 +75,17 @@ const dispatch::tune_registrar kExpm1Tune("vecmath.expm1", &tune_expm1);
 const dispatch::tune_registrar kLog1pTune("vecmath.log1p", &tune_log1p);
 const dispatch::tune_registrar kTanhTune("vecmath.tanh", &tune_tanh);
 
+// exp2 skips the ln2 multiply of exp; expm1/log1p pay the extra
+// compensation terms; tanh is expm1 plus the rational combine.
+dispatch::TuneCost cost_exp2(std::size_t n) { return detail::stream_cost(n, 12.0); }
+dispatch::TuneCost cost_expm1(std::size_t n) { return detail::stream_cost(n, 18.0); }
+dispatch::TuneCost cost_log1p(std::size_t n) { return detail::stream_cost(n, 20.0); }
+dispatch::TuneCost cost_tanh(std::size_t n) { return detail::stream_cost(n, 25.0); }
+const dispatch::cost_registrar kExp2Cost("vecmath.exp2", &cost_exp2);
+const dispatch::cost_registrar kExpm1Cost("vecmath.expm1", &cost_expm1);
+const dispatch::cost_registrar kLog1pCost("vecmath.log1p", &cost_log1p);
+const dispatch::cost_registrar kTanhCost("vecmath.tanh", &cost_tanh);
+
 using sve::Vec;
 using sve::VecS64;
 using sve::VecU64;

@@ -69,6 +69,13 @@ double tune_pow(simd::Backend b, std::size_t n) {
 const dispatch::tune_registrar kLogTune("vecmath.log", &tune_log);
 const dispatch::tune_registrar kPowTune("vecmath.pow", &tune_pow);
 
+// log: binade split + degree-7 polynomial; pow = log + multiply + exp,
+// and its probe streams a third array (the exponents).
+dispatch::TuneCost cost_log(std::size_t n) { return detail::stream_cost(n, 20.0); }
+dispatch::TuneCost cost_pow(std::size_t n) { return detail::stream_cost(n, 40.0, 1.0); }
+const dispatch::cost_registrar kLogCost("vecmath.log", &cost_log);
+const dispatch::cost_registrar kPowCost("vecmath.pow", &cost_pow);
+
 constexpr double kLn2Hi = 0x1.62e42fefa0000p-1;
 constexpr double kLn2Lo = 0x1.cf79abc9e3b3ap-40;
 constexpr std::uint64_t kFractionMask = (1ull << 52) - 1;

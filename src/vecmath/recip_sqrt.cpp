@@ -56,6 +56,13 @@ double tune_sqrt(simd::Backend b, std::size_t n) {
 const dispatch::tune_registrar kRecipTune("vecmath.recip", &tune_recip);
 const dispatch::tune_registrar kSqrtTune("vecmath.sqrt", &tune_sqrt);
 
+// Estimate + three Newton steps + fused residual (recip); rsqrt pays
+// one more multiply per step to form x*y*y.
+dispatch::TuneCost cost_recip(std::size_t n) { return detail::stream_cost(n, 10.0); }
+dispatch::TuneCost cost_sqrt(std::size_t n) { return detail::stream_cost(n, 12.0); }
+const dispatch::cost_registrar kRecipCost("vecmath.recip", &cost_recip);
+const dispatch::cost_registrar kSqrtCost("vecmath.sqrt", &cost_sqrt);
+
 }  // namespace
 
 using sve::Vec;

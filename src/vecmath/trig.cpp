@@ -55,6 +55,12 @@ double tune_cos(simd::Backend b, std::size_t n) {
 const dispatch::tune_registrar kSinTune("vecmath.sin", &tune_sin);
 const dispatch::tune_registrar kCosTune("vecmath.cos", &tune_cos);
 
+// Three-part Cody-Waite pi/2 reduction + degree-6/7 polynomial.
+dispatch::TuneCost cost_sin(std::size_t n) { return detail::stream_cost(n, 20.0); }
+dispatch::TuneCost cost_cos(std::size_t n) { return detail::stream_cost(n, 20.0); }
+const dispatch::cost_registrar kSinCost("vecmath.sin", &cost_sin);
+const dispatch::cost_registrar kCosCost("vecmath.cos", &cost_cos);
+
 // Cody-Waite split of pi/2 into three parts; n * kPio2_1 is exact for
 // |n| < 2^24 because the low 27 bits of each part are zero.
 constexpr double kTwoOverPi = 0x1.45f306dc9c883p-1;

@@ -340,6 +340,66 @@ TEST(ParallelPhases, NestedCallDegradesToSerial) {
   EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ParallelPhases, NestedFallbackKeepsPhaseOrderAndFullRange) {
+  // A nested parallel_phases loses the single-submitter claim and must
+  // degrade to the documented serial contract: phases in declaration
+  // order, each over the FULL [first, last) range exactly once, with
+  // tid 0 / group 0 — not some slice of the outer region's chunking.
+  for (BarrierMode mode : kAllModes) {
+    ThreadPool pool(4, mode, /*group_size=*/2);
+    std::atomic<int> bad_shape{0};
+    std::atomic<int> phase1_runs{0};
+    std::atomic<int> out_of_order{0};
+    pool.parallel_for(0, 4, [&](std::size_t, std::size_t, unsigned) {
+      thread_local int last_phase;
+      last_phase = 0;
+      pool.parallel_phases(3, 11, {
+          [&](std::size_t b, std::size_t e, unsigned tid, unsigned group) {
+            if (b != 3 || e != 11 || tid != 0 || group != 0) bad_shape.fetch_add(1);
+            if (last_phase != 0) out_of_order.fetch_add(1);
+            last_phase = 1;
+            phase1_runs.fetch_add(1);
+          },
+          [&](std::size_t b, std::size_t e, unsigned, unsigned) {
+            if (b != 3 || e != 11) bad_shape.fetch_add(1);
+            if (last_phase != 1) out_of_order.fetch_add(1);
+            last_phase = 2;
+          },
+      });
+    });
+    // One serial drain per outer chunk; 4 threads -> 4 outer chunks.
+    EXPECT_EQ(phase1_runs.load(), 4) << mode_label(mode);
+    EXPECT_EQ(bad_shape.load(), 0) << mode_label(mode);
+    EXPECT_EQ(out_of_order.load(), 0) << mode_label(mode);
+  }
+}
+
+TEST(ParallelPhases, NestedFallbackPropagatesExceptionToOuterRegion) {
+  ThreadPool pool(2, BarrierMode::kCondvar);
+  std::atomic<int> after_ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 2,
+                        [&](std::size_t, std::size_t, unsigned) {
+                          pool.parallel_phases(0, 4, {
+                              [&](std::size_t, std::size_t, unsigned, unsigned) {
+                                throw std::runtime_error("nested phase failed");
+                              },
+                              [&](std::size_t, std::size_t, unsigned, unsigned) {
+                                after_ran.fetch_add(1);
+                              },
+                          });
+                        }),
+      std::runtime_error);
+  // The serial fallback rethrows out of the first phase, so the second
+  // never starts on that thread, and the pool stays reusable.
+  EXPECT_EQ(after_ran.load(), 0);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t b, std::size_t e, unsigned) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
 TEST(ParallelPhases, ExceptionInOnePhaseStillJoinsAndRethrows) {
   for (BarrierMode mode : kAllModes) {
     ThreadPool pool(4, mode, /*group_size=*/2);

@@ -16,7 +16,10 @@
 // --region NAME restricts the report to one region or span name; an
 // unknown name errors with the nearest match ("did you mean ...").
 // --req HEX prints the raw event list of one request's trace id, in
-// start order.  Exit 2 signals a usage/input problem.
+// start order.  --critical-path prints the hop-by-hop longest
+// dependency chain of each task-graph run in the trace (the spans the
+// taskgraph executor records); a trace with no graph spans exits 2.
+// Exit 2 signals a usage/input problem.
 
 #include <algorithm>
 #include <cstdio>
@@ -85,12 +88,14 @@ int main(int argc, char** argv) {
   if (cli.has("help") || cli.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: %s TRACE.json [--top N] [--machine a64fx|skylake|knl|zen2]\n"
-                 "          [--region NAME] [--req HEX]\n"
+                 "          [--region NAME] [--req HEX] [--critical-path]\n"
                  "  TRACE.json  a Chrome trace-event file (harness TRACE_<bench>.json)\n"
                  "  --top N     print only the N largest regions by exclusive time\n"
                  "  --machine M roofline used for the verdicts (default a64fx)\n"
                  "  --region R  restrict the report to one region/span name\n"
-                 "  --req HEX   print the events of one request trace id\n",
+                 "  --req HEX   print the events of one request trace id\n"
+                 "  --critical-path\n"
+                 "              print the longest dependency chain of each task-graph run\n",
                  cli.program().c_str());
     return cli.has("help") ? 0 : 2;
   }
@@ -150,6 +155,25 @@ int main(int argc, char** argv) {
         std::printf("%-24s %12.3f %12.3f %6u\n", e.name,
                     static_cast<double>(e.start_ns - t0) * 1e-3,
                     static_cast<double>(e.end_ns - e.start_ns) * 1e-3, e.tid);
+      }
+      return 0;
+    }
+
+    if (cli.has("critical-path")) {
+      const auto report = ookami::trace::aggregate(
+          events, ookami::harness::roofline_for(machine));
+      if (report.graphs.empty()) {
+        // Same contract as the empty-trace case: asking for a critical
+        // path of a trace with no task-graph spans is a user error
+        // (workload ran with OOKAMI_TASKGRAPH off, or wrong file).
+        std::fprintf(stderr,
+                     "trace_summary: '%s' contains no task-graph spans "
+                     "(was the workload run with OOKAMI_TASKGRAPH=1 and tracing on?)\n",
+                     cli.positional()[0].c_str());
+        return 2;
+      }
+      for (const auto& g : report.graphs) {
+        std::printf("%s", ookami::trace::render_critical_path(g).c_str());
       }
       return 0;
     }
